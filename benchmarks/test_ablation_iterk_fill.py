@@ -1,0 +1,52 @@
+"""Ablation: iter_k fill-in policy for reconstruction.
+
+The paper's footnote 1 uses the *last* collected segment to fill in the
+executions that were not collected and mentions the mean of the k collected
+segments as an alternative.  This ablation measures both policies.
+"""
+
+from support import bench_scale, emit, run_once
+
+from repro.core.metrics import create_metric
+from repro.core.reconstruct import reconstruct
+from repro.core.reducer import reduce_trace
+from repro.evaluation.approximation import approximation_distance
+from repro.evaluation.trends import retains_trends
+from repro.experiments.config import prepared_workload
+from repro.util.tables import format_table
+
+WORKLOADS = ("dyn_load_balance", "late_sender", "NtoN_1024", "sweep3d_8p")
+
+
+def _run(scale):
+    rows = []
+    for workload in WORKLOADS:
+        prepared = prepared_workload(workload, scale)
+        reduced = reduce_trace(prepared.segmented, create_metric("iter_k"))
+        for policy in ("last", "mean"):
+            rebuilt = reconstruct(reduced, iter_k_fill=policy)
+            rows.append(
+                [
+                    workload,
+                    policy,
+                    approximation_distance(prepared.segmented, rebuilt),
+                    retains_trends(
+                        prepared.segmented, rebuilt, full_report=prepared.full_report
+                    ).retained,
+                ]
+            )
+    return rows
+
+
+def test_ablation_iterk_fill(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, _run, scale)
+    emit(
+        "ablation_iterk_fill",
+        format_table(
+            ["workload", "fill policy", "approx dist (us)", "trends"],
+            rows,
+            title=f"Ablation — iter_k reconstruction fill-in policy (scale={scale.name})",
+        ),
+    )
+    assert len(rows) == 2 * len(WORKLOADS)

@@ -1,0 +1,71 @@
+"""Ablation: Minkowski measurement-vector layout.
+
+The paper's worked example prepends the segment end time to the Minkowski
+vector (``(end, e0.start, e0.end, ...)``).  This ablation compares that layout
+against the plain pairwise layout (event start/end pairs followed by the end)
+to check that the design choice does not change the study's conclusions.
+"""
+
+import numpy as np
+
+from support import bench_scale, emit, run_once
+
+from repro.core.metrics.minkowski import Euclidean
+from repro.core.metrics.vectors import pairwise_vector
+from repro.evaluation.runner import evaluate_method
+from repro.experiments.config import prepared_workload
+from repro.util.tables import format_table
+
+WORKLOADS = ("dyn_load_balance", "late_sender", "1to1r_1024")
+
+
+class PairwiseEuclidean(Euclidean):
+    """Euclidean distance on the pairwise vector layout (no leading segment end)."""
+
+    name = "euclidean(pairwise)"
+
+    def distance(self, new_segment, stored_segment):
+        a = pairwise_vector(new_segment)
+        b = pairwise_vector(stored_segment)
+        return float(np.linalg.norm(a - b))
+
+    def limit(self, new_segment, stored_segment):
+        a = pairwise_vector(new_segment)
+        b = pairwise_vector(stored_segment)
+        largest = max(float(a.max(initial=0.0)), float(b.max(initial=0.0)))
+        return self.threshold * largest
+
+
+def _run(scale):
+    rows = []
+    for workload in WORKLOADS:
+        prepared = prepared_workload(workload, scale)
+        for metric in (Euclidean(0.2), PairwiseEuclidean(0.2)):
+            result = evaluate_method(prepared, metric, keep_comparison=False)
+            rows.append(
+                [
+                    workload,
+                    metric.name,
+                    result.pct_file_size,
+                    result.approx_distance_us,
+                    result.trends_retained,
+                ]
+            )
+    return rows
+
+
+def test_ablation_vector_layout(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, _run, scale)
+    emit(
+        "ablation_vector_layout",
+        format_table(
+            ["workload", "layout", "% file size", "approx dist (us)", "trends"],
+            rows,
+            title=f"Ablation — Minkowski vector layout (scale={scale.name})",
+        ),
+    )
+    # the layouts may differ slightly in size but must agree qualitatively
+    for i in range(0, len(rows), 2):
+        paper_layout, pairwise_layout = rows[i], rows[i + 1]
+        assert abs(paper_layout[2] - pairwise_layout[2]) < 20.0

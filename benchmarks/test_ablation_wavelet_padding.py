@@ -1,0 +1,48 @@
+"""Ablation: wavelet vector zero-padding vs truncation.
+
+The transforms need power-of-two input lengths.  The paper zero-pads the
+measurement vector; truncating instead discards the trailing timestamps.  This
+ablation shows how much the choice matters for the avgWave method.
+"""
+
+from support import bench_scale, emit, run_once
+
+from repro.core.metrics.wavelet import AvgWave
+from repro.evaluation.runner import evaluate_method
+from repro.experiments.config import prepared_workload
+from repro.util.tables import format_table
+
+WORKLOADS = ("dyn_load_balance", "1to1s_1024", "sweep3d_8p")
+
+
+def _run(scale):
+    rows = []
+    for workload in WORKLOADS:
+        prepared = prepared_workload(workload, scale)
+        for label, pad in (("zero-pad (paper)", True), ("truncate", False)):
+            result = evaluate_method(prepared, AvgWave(0.2, pad=pad), keep_comparison=False)
+            rows.append(
+                [
+                    workload,
+                    label,
+                    result.pct_file_size,
+                    result.degree_of_matching,
+                    result.approx_distance_us,
+                    result.trends_retained,
+                ]
+            )
+    return rows
+
+
+def test_ablation_wavelet_padding(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, _run, scale)
+    emit(
+        "ablation_wavelet_padding",
+        format_table(
+            ["workload", "variant", "% file size", "matching", "approx dist (us)", "trends"],
+            rows,
+            title=f"Ablation — wavelet input padding (scale={scale.name})",
+        ),
+    )
+    assert len(rows) == 2 * len(WORKLOADS)

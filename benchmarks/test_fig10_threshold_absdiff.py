@@ -1,0 +1,26 @@
+"""Figure 10: file size and approximation distance vs threshold for absDiff (benchmark programs)."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.config import BENCHMARK_NAMES
+from repro.experiments.formatting import format_rows
+from repro.experiments.thresholds import threshold_study_rows
+
+
+def test_fig10_threshold_absdiff(benchmark):
+    scale = bench_scale()
+    rows = run_once(
+        benchmark, threshold_study_rows, "absDiff", BENCHMARK_NAMES, scale=scale
+    )
+    emit(
+        "fig10_threshold_absdiff",
+        format_rows(
+            rows,
+            title=(
+                "Figure 10 — absDiff: % file size and approximation distance for varying "
+                f"thresholds over the benchmark programs (scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(rows) == len(BENCHMARK_NAMES) * 6
+    assert all(row["pct_file_size"] > 0.0 for row in rows)

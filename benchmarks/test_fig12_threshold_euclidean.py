@@ -1,0 +1,26 @@
+"""Figure 12: file size and approximation distance vs threshold for euclidean (benchmark programs)."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.config import BENCHMARK_NAMES
+from repro.experiments.formatting import format_rows
+from repro.experiments.thresholds import threshold_study_rows
+
+
+def test_fig12_threshold_euclidean(benchmark):
+    scale = bench_scale()
+    rows = run_once(
+        benchmark, threshold_study_rows, "euclidean", BENCHMARK_NAMES, scale=scale
+    )
+    emit(
+        "fig12_threshold_euclidean",
+        format_rows(
+            rows,
+            title=(
+                "Figure 12 — euclidean: % file size and approximation distance for varying "
+                f"thresholds over the benchmark programs (scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(rows) == len(BENCHMARK_NAMES) * 6
+    assert all(row["pct_file_size"] > 0.0 for row in rows)

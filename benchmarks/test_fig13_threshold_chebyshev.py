@@ -1,0 +1,26 @@
+"""Figure 13: file size and approximation distance vs threshold for chebyshev (benchmark programs)."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.config import BENCHMARK_NAMES
+from repro.experiments.formatting import format_rows
+from repro.experiments.thresholds import threshold_study_rows
+
+
+def test_fig13_threshold_chebyshev(benchmark):
+    scale = bench_scale()
+    rows = run_once(
+        benchmark, threshold_study_rows, "chebyshev", BENCHMARK_NAMES, scale=scale
+    )
+    emit(
+        "fig13_threshold_chebyshev",
+        format_rows(
+            rows,
+            title=(
+                "Figure 13 — chebyshev: % file size and approximation distance for varying "
+                f"thresholds over the benchmark programs (scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(rows) == len(BENCHMARK_NAMES) * 6
+    assert all(row["pct_file_size"] > 0.0 for row in rows)

@@ -1,0 +1,28 @@
+"""Figure 17: Sweep3D file size and approximation distance vs threshold (relDiff / absDiff / Manhattan)."""
+
+import pytest
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.config import SWEEP3D_NAMES
+from repro.experiments.formatting import format_rows
+from repro.experiments.thresholds import threshold_study_rows
+
+METHODS = ('relDiff', 'absDiff', 'manhattan')
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig17_sweep3d_threshold(benchmark, method):
+    scale = bench_scale()
+    rows = run_once(benchmark, threshold_study_rows, method, SWEEP3D_NAMES, scale=scale)
+    emit(
+        f"fig17_sweep3d_threshold_{method}",
+        format_rows(
+            rows,
+            title=(
+                f"Figure 17 — {method} on Sweep3D: % file size and approximation distance "
+                f"for varying thresholds (scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(rows) == len(SWEEP3D_NAMES) * 6

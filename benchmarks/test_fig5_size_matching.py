@@ -1,0 +1,29 @@
+"""Figure 5: percentage file sizes and degree of matching, all methods at default thresholds."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.comparative import fig5_size_and_matching
+from repro.experiments.config import ALL_WORKLOAD_NAMES
+from repro.experiments.formatting import format_rows
+
+
+def test_fig5_size_and_matching(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, fig5_size_and_matching, ALL_WORKLOAD_NAMES, scale=scale)
+    emit(
+        "fig5_size_matching",
+        format_rows(
+            rows,
+            title=(
+                "Figure 5 — % of full trace file size and degree of matching "
+                f"(all methods at default thresholds, scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(rows) == len(ALL_WORKLOAD_NAMES) * 9
+    # iter_avg is the best case for file size on every workload (Section 5.2.1)
+    by_workload: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], {})[row["method"]] = row["pct_file_size"]
+    for workload, sizes in by_workload.items():
+        assert sizes["iter_avg"] <= min(sizes.values()) + 1e-9, workload

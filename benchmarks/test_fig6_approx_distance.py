@@ -1,0 +1,24 @@
+"""Figure 6: approximation distance for all methods at default thresholds."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.comparative import fig6_approximation_distance
+from repro.experiments.config import ALL_WORKLOAD_NAMES
+from repro.experiments.formatting import format_rows
+
+
+def test_fig6_approximation_distance(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, fig6_approximation_distance, ALL_WORKLOAD_NAMES, scale=scale)
+    emit(
+        "fig6_approx_distance",
+        format_rows(
+            rows,
+            title=(
+                "Figure 6 — approximation distance (90th-percentile timestamp error, µs) "
+                f"for all methods at default thresholds, scale={scale.name}"
+            ),
+        ),
+    )
+    assert len(rows) == len(ALL_WORKLOAD_NAMES) * 9
+    assert all(row["approx_distance_us"] >= 0.0 for row in rows)

@@ -1,0 +1,17 @@
+"""Figure 7: KOJAK performance trends for dyn_load_balance under every method."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.comparative import fig7_dyn_load_balance_trends
+
+
+def test_fig7_dyn_load_balance_trends(benchmark):
+    scale = bench_scale()
+    charts = run_once(benchmark, fig7_dyn_load_balance_trends, scale=scale)
+    text = "\n\n".join(charts[name] for name in charts)
+    emit("fig7_trends_dyn_load_balance", text)
+    assert "full trace" in charts
+    assert len(charts) == 10  # full trace + nine methods
+    # every chart shows the two rows the paper discusses
+    for chart in charts.values():
+        assert "MPI_Alltoall" in chart and "do_work" in chart

@@ -1,0 +1,16 @@
+"""Figure 8: KOJAK performance trends for the 1to1r_1024 interference benchmark."""
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.comparative import fig8_interference_trends
+
+
+def test_fig8_interference_trends(benchmark):
+    scale = bench_scale()
+    charts = run_once(benchmark, fig8_interference_trends, scale=scale)
+    text = "\n\n".join(charts[name] for name in charts)
+    emit("fig8_trends_1to1r_1024", text)
+    assert "full trace" in charts
+    assert len(charts) == 10
+    for chart in charts.values():
+        assert "MPI_Recv" in chart and "do_work" in chart

@@ -1,0 +1,59 @@
+"""Future-work experiment: trace sampling vs the paper's similarity methods.
+
+Section 6 of the paper lists trace sampling as the next difference method to
+investigate.  This bench runs periodic and random sampling through the same
+evaluation criteria as the nine similarity methods on a regular, an irregular,
+and a time-varying workload.
+"""
+
+from support import bench_scale, emit, run_once
+
+from repro.core.metrics import create_metric
+from repro.core.sampling import PeriodicSampling, RandomSampling
+from repro.evaluation.runner import evaluate_method
+from repro.experiments.config import prepared_workload
+from repro.util.tables import format_table
+
+WORKLOADS = ("late_sender", "NtoN_1024", "dyn_load_balance")
+
+
+def _run(scale):
+    rows = []
+    for workload in WORKLOADS:
+        prepared = prepared_workload(workload, scale)
+        candidates = [
+            create_metric("avgWave"),
+            create_metric("iter_k"),
+            create_metric("iter_avg"),
+            PeriodicSampling(10),
+            RandomSampling(0.1, seed=1),
+        ]
+        for metric in candidates:
+            result = evaluate_method(prepared, metric, keep_comparison=False)
+            rows.append(
+                [
+                    workload,
+                    metric.describe(),
+                    result.pct_file_size,
+                    result.approx_distance_us,
+                    result.trends_retained,
+                ]
+            )
+    return rows
+
+
+def test_future_work_sampling(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, _run, scale)
+    emit(
+        "future_sampling_vs_similarity",
+        format_table(
+            ["workload", "method", "% file size", "approx dist (us)", "trends"],
+            rows,
+            title=(
+                "Future work — trace sampling (periodic 1-in-10, random 10%) vs similarity "
+                f"methods (scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(rows) == len(WORKLOADS) * 5

@@ -1,0 +1,39 @@
+"""Tables 1–16: retention of performance trends vs threshold for every benchmark program."""
+
+import pytest
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.formatting import format_trend_table
+from repro.experiments.trend_tables import TREND_TABLE_INDEX, trend_table
+
+BENCHMARK_TABLES = {num: name for num, name in TREND_TABLE_INDEX.items() if num <= 16}
+
+
+@pytest.mark.parametrize("table_number", sorted(BENCHMARK_TABLES))
+def test_trend_table(benchmark, table_number):
+    workload = BENCHMARK_TABLES[table_number]
+    scale = bench_scale()
+    table = run_once(benchmark, trend_table, workload, scale=scale)
+    emit(
+        f"table{table_number:02d}_trends_{workload}",
+        format_trend_table(
+            table,
+            title=(
+                f"Table {table_number} — retention of performance trends for {workload} "
+                f"(scale={scale.name})"
+            ),
+        ),
+    )
+    assert set(table) == {
+        "relDiff",
+        "absDiff",
+        "manhattan",
+        "euclidean",
+        "chebyshev",
+        "avgWave",
+        "haarWave",
+        "iter_k",
+        "iter_avg",
+    }
+    assert all(len(cells) >= 1 for cells in table.values())

@@ -1,0 +1,28 @@
+"""Tables 17–18: retention of performance trends vs threshold for the Sweep3D runs."""
+
+import pytest
+
+from support import bench_scale, emit, run_once
+
+from repro.experiments.formatting import format_trend_table
+from repro.experiments.trend_tables import TREND_TABLE_INDEX, trend_table
+
+SWEEP3D_TABLES = {num: name for num, name in TREND_TABLE_INDEX.items() if num >= 17}
+
+
+@pytest.mark.parametrize("table_number", sorted(SWEEP3D_TABLES))
+def test_sweep3d_trend_table(benchmark, table_number):
+    workload = SWEEP3D_TABLES[table_number]
+    scale = bench_scale()
+    table = run_once(benchmark, trend_table, workload, scale=scale)
+    emit(
+        f"table{table_number:02d}_trends_{workload}",
+        format_trend_table(
+            table,
+            title=(
+                f"Table {table_number} — retention of performance trends for {workload} "
+                f"(scale={scale.name})"
+            ),
+        ),
+    )
+    assert len(table) == 9

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: trace a benchmark, reduce it, and check what survived.
+
+This walks the full pipeline of the paper on one workload:
+
+1. build the ``late_sender`` benchmark (odd ranks wait for even ranks);
+2. simulate it and segment the per-rank traces;
+3. reduce each rank's trace with the average-wavelet similarity metric
+   (the paper's overall winner) at its default threshold;
+4. reconstruct an approximate full trace and report the paper's four
+   evaluation criteria;
+5. show the KOJAK-style diagnosis of the full and the reconstructed trace.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.analysis import analyze, severity_chart
+from repro.analysis.patterns import EXECUTION_TIME, LATE_SENDER
+from repro.benchmarks_ats import late_sender
+from repro.core import create_metric, reconstruct, reduce_trace
+from repro.evaluation import (
+    approximation_distance,
+    degree_of_matching,
+    percent_file_size,
+    retains_trends,
+)
+
+
+def main() -> None:
+    # 1. a workload with a known performance problem: even ranks send late,
+    #    odd ranks wait ~500 µs in MPI_Recv in every one of 40 iterations.
+    workload = late_sender(nprocs=8, iterations=40, severity=500.0, seed=42)
+    print(f"workload: {workload.name} ({workload.nprocs} ranks)")
+    print(f"expected diagnosis: {workload.expected_metric} at {workload.expected_location}\n")
+
+    # 2. simulate and segment
+    full_trace = workload.run_segmented()
+    print(f"full trace: {full_trace.num_events} events in {full_trace.num_segments} segments")
+
+    # 3. reduce with avgWave at the paper's default threshold (0.2)
+    metric = create_metric("avgWave")
+    reduced = reduce_trace(full_trace, metric)
+    print(f"reduced with {metric.describe()}: {reduced.n_stored} stored segments "
+          f"for {reduced.n_segments} executions")
+
+    # 4. evaluation criteria
+    rebuilt = reconstruct(reduced)
+    print(f"\n  percentage of full trace file size : {percent_file_size(full_trace, reduced):6.2f} %")
+    print(f"  degree of matching                 : {degree_of_matching(reduced):6.3f}")
+    print(f"  approximation distance (90th pct)  : {approximation_distance(full_trace, rebuilt):6.1f} us")
+    comparison = retains_trends(full_trace, rebuilt)
+    print(f"  retains performance trends          : {'yes' if comparison.retained else 'NO'}")
+    for violation in comparison.violations:
+        print(f"    violation: {violation}")
+
+    # 5. the diagnosis, before and after reduction
+    entries = [(LATE_SENDER, "MPI_Recv"), (EXECUTION_TIME, "do_work")]
+    print("\n" + severity_chart(analyze(full_trace), entries, title="full trace diagnosis"))
+    print("\n" + severity_chart(analyze(rebuilt), entries, title="reconstructed trace diagnosis"))
+
+
+if __name__ == "__main__":
+    main()

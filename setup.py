@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in fully offline environments (the legacy
+editable-install path needs no network access to set up a build environment).
+"""
+
+from setuptools import setup
+
+setup()

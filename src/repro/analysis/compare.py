@@ -1,0 +1,202 @@
+"""Automated comparison of diagnosis reports (retention of performance trends).
+
+The paper compares CUBE displays by hand, "following a set of guidelines" so
+every method faces the same criteria.  This module encodes those guidelines
+explicitly.  A reduced trace *retains the performance trends* of the full
+trace when:
+
+1. every **major** diagnosis of the full trace (a wait-state whose total
+   severity is a noticeable fraction of the largest wait-state and above an
+   absolute floor) is still reported with a comparable total severity — within
+   a configurable factor — and, where the full trace shows a disparity between
+   processes, with a similar per-process profile;
+2. the reduced trace does not invent a **spurious** major diagnosis that the
+   full trace does not contain (or inflate a minor one into dominance);
+3. per-function execution-time disparities across processes (e.g. the
+   ``do_work`` imbalance of ``dyn_load_balance``) are not inverted or erased.
+
+Every threshold is a field of :class:`ComparisonOptions` so the sensitivity of
+the retention decision can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.patterns import WAIT_METRICS
+from repro.analysis.report import DiagnosisReport
+from repro.util.stats import coefficient_of_variation, pearson
+
+__all__ = ["ComparisonOptions", "DiagnosisDelta", "TrendComparison", "compare_diagnoses"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonOptions:
+    """Thresholds of the trend-retention guidelines.
+
+    Attributes
+    ----------
+    major_fraction:
+        A wait diagnosis is *major* when its total severity is at least this
+        fraction of the largest wait diagnosis in the full trace.
+    floor_fraction:
+        Absolute floor for "major", as a fraction of the total CPU time
+        (wall time × number of ranks); diagnoses below it are ignored.
+    severity_factor:
+        A major diagnosis is considered preserved when the reduced total is
+        within ``[full / factor, full * factor]`` (or the absolute difference
+        is below the floor).
+    disparity_cov:
+        A per-rank severity profile counts as "disparate" (some ranks clearly
+        more affected than others) when its coefficient of variation exceeds
+        this value; only then is the profile-correlation check applied.
+    profile_correlation:
+        Minimum Pearson correlation between the full and reduced per-rank
+        profiles of a disparate major diagnosis.
+    spurious_fraction:
+        A diagnosis in the reduced trace is *spurious* when its total exceeds
+        this fraction of the full trace's largest wait total while being at
+        least four times larger than its own full-trace total.
+    exec_time_correlation:
+        Minimum correlation for disparate per-function execution-time
+        profiles; below this the disparity counts as lost.
+    """
+
+    major_fraction: float = 0.10
+    floor_fraction: float = 0.005
+    severity_factor: float = 3.0
+    disparity_cov: float = 0.25
+    profile_correlation: float = 0.6
+    spurious_fraction: float = 0.5
+    exec_time_correlation: float = 0.3
+
+
+@dataclass(slots=True)
+class DiagnosisDelta:
+    """Full-vs-reduced numbers for one diagnosis."""
+
+    metric: str
+    location: str
+    full_total: float
+    reduced_total: float
+    profile_correlation: float
+    full_cov: float
+    preserved: bool
+    note: str = ""
+
+
+@dataclass(slots=True)
+class TrendComparison:
+    """Result of comparing a reduced trace's diagnoses against the full trace's."""
+
+    retained: bool
+    violations: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    deltas: list[DiagnosisDelta] = field(default_factory=list)
+    major_diagnoses: list[tuple[str, str]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "retained" if self.retained else "NOT retained"
+        lines = [f"performance trends {status}"]
+        lines.extend(f"  violation: {v}" for v in self.violations)
+        lines.extend(f"  warning:   {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def compare_diagnoses(
+    full: DiagnosisReport,
+    reduced: DiagnosisReport,
+    options: Optional[ComparisonOptions] = None,
+) -> TrendComparison:
+    """Decide whether ``reduced`` retains the performance trends of ``full``."""
+    opts = options or ComparisonOptions()
+    if full.nprocs != reduced.nprocs:
+        raise ValueError(
+            f"cannot compare reports with different rank counts "
+            f"({full.nprocs} vs {reduced.nprocs})"
+        )
+    result = TrendComparison(retained=True)
+    floor = opts.floor_fraction * full.wall_time * max(1, full.nprocs)
+    majors = full.major_diagnoses(fraction=opts.major_fraction, floor=floor)
+    result.major_diagnoses = majors
+
+    # 1. every major diagnosis must be preserved
+    for metric, location in majors:
+        full_ranks = full.per_rank(metric, location)
+        reduced_ranks = reduced.per_rank(metric, location)
+        full_total = float(full_ranks.sum())
+        reduced_total = float(reduced_ranks.sum())
+        correlation = pearson(full_ranks, reduced_ranks)
+        full_cov = coefficient_of_variation(full_ranks)
+        preserved = True
+        note = ""
+
+        within_factor = (
+            full_total / opts.severity_factor <= reduced_total <= full_total * opts.severity_factor
+        )
+        if not within_factor and abs(reduced_total - full_total) > floor:
+            preserved = False
+            note = (
+                f"total severity changed from {full_total:.0f} µs to {reduced_total:.0f} µs "
+                f"(allowed factor {opts.severity_factor:g})"
+            )
+        elif full_cov > opts.disparity_cov and correlation < opts.profile_correlation:
+            preserved = False
+            note = (
+                f"per-rank profile no longer matches (correlation {correlation:.2f} < "
+                f"{opts.profile_correlation:g})"
+            )
+
+        result.deltas.append(
+            DiagnosisDelta(
+                metric=metric,
+                location=location,
+                full_total=full_total,
+                reduced_total=reduced_total,
+                profile_correlation=correlation,
+                full_cov=full_cov,
+                preserved=preserved,
+                note=note,
+            )
+        )
+        if not preserved:
+            result.retained = False
+            result.violations.append(f"{metric} @ {location}: {note}")
+
+    # 2. no spurious or wildly inflated diagnosis
+    reference = full.max_wait_total()
+    for (metric, location), reduced_ranks in reduced.wait_diagnoses().items():
+        reduced_total = float(reduced_ranks.sum())
+        full_total = full.total(metric, location)
+        if reduced_total <= max(opts.spurious_fraction * reference, floor):
+            continue
+        if reduced_total > 4.0 * max(full_total, floor / 4.0) and (metric, location) not in majors:
+            result.retained = False
+            result.violations.append(
+                f"{metric} @ {location}: spurious diagnosis "
+                f"({reduced_total:.0f} µs in reduced trace vs {full_total:.0f} µs in full trace)"
+            )
+
+    # 3. per-function execution-time disparities must not be erased or inverted
+    for (metric, location), full_ranks in full.execution_times().items():
+        full_cov = coefficient_of_variation(full_ranks)
+        if full_cov <= opts.disparity_cov:
+            continue
+        reduced_ranks = reduced.per_rank(metric, location)
+        correlation = pearson(full_ranks, reduced_ranks)
+        if correlation < opts.exec_time_correlation:
+            result.retained = False
+            result.violations.append(
+                f"execution-time disparity in {location} lost "
+                f"(correlation {correlation:.2f} < {opts.exec_time_correlation:g})"
+            )
+        elif correlation < opts.profile_correlation:
+            result.warnings.append(
+                f"execution-time disparity in {location} weakened "
+                f"(correlation {correlation:.2f})"
+            )
+
+    return result

@@ -1,0 +1,87 @@
+"""CUBE-style text rendering of diagnosis severities.
+
+Figures 4, 7, and 8 of the paper show, for selected (metric, code location)
+pairs, one coloured square per process.  This module renders the same
+information as text: a severity level per process, with ``neg`` standing in
+for the white (negative severity) squares of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.patterns import METRIC_ABBREVIATIONS
+from repro.analysis.report import DiagnosisReport
+from repro.util.tables import format_table
+
+__all__ = ["severity_level", "severity_row", "severity_chart"]
+
+#: Severity buckets, as fractions of the reference severity.
+_LEVELS: tuple[tuple[float, str], ...] = (
+    (0.75, "high"),
+    (0.50, "med"),
+    (0.25, "low"),
+    (0.05, "vlow"),
+)
+
+
+def severity_level(value: float, reference: float) -> str:
+    """Map one severity value to a discrete level relative to ``reference``.
+
+    Negative values map to ``"neg"`` (the paper's white squares); values that
+    are a tiny fraction of the reference map to ``"0"``.
+    """
+    if value < 0:
+        return "neg"
+    if reference <= 0:
+        return "0"
+    ratio = value / reference
+    for cutoff, label in _LEVELS:
+        if ratio >= cutoff:
+            return label
+    return "0"
+
+
+def severity_row(values: Sequence[float], reference: float) -> list[str]:
+    """Per-process severity levels for one diagnosis."""
+    return [severity_level(float(v), reference) for v in values]
+
+
+def severity_chart(
+    report: DiagnosisReport,
+    entries: Sequence[tuple[str, str]],
+    *,
+    reference: float | None = None,
+    signed: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render a severity chart for the given (metric, location) entries.
+
+    Parameters
+    ----------
+    report:
+        The diagnosis report to render.
+    entries:
+        The (metric, code location) pairs to show, in display order.
+    reference:
+        Severity corresponding to the "high" end of the scale; defaults to the
+        largest per-rank severity among the selected entries.
+    signed:
+        Use the signed severities so negative values (reconstruction skew)
+        show up as ``neg``, like the white squares in the paper's figures.
+    """
+    source = report.per_rank_signed if signed else report.per_rank
+    selected = {key: source(*key) for key in entries}
+    if reference is None:
+        candidates = [float(np.max(np.abs(v))) for v in selected.values() if v.size]
+        reference = max(candidates) if candidates else 0.0
+    headers = ["metric", "location", "total(us)"] + [f"p{r}" for r in range(report.nprocs)]
+    rows = []
+    for (metric, location), values in selected.items():
+        abbrev = METRIC_ABBREVIATIONS.get(metric, metric)
+        rows.append(
+            [abbrev, location, float(values.sum())] + severity_row(values, reference)
+        )
+    return format_table(headers, rows, float_fmt=".4g", title=title)

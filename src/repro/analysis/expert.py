@@ -1,0 +1,178 @@
+"""EXPERT-style trace analyzer.
+
+The analyzer walks a segmented application trace (full or reconstructed),
+pairs matching MPI events across ranks, and accumulates wait-state severities
+into a :class:`~repro.analysis.report.DiagnosisReport`.
+
+Event pairing uses MPI ordering semantics only — no hidden metadata — so it
+works identically on reconstructed traces:
+
+* collectives are paired by their per-rank collective-call sequence number
+  (MPI requires every rank to issue collectives on a communicator in the same
+  order);
+* point-to-point messages are paired FIFO per ``(source, destination, tag)``
+  (MPI's non-overtaking rule).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.patterns import (
+    EARLY_GATHER,
+    EXECUTION_TIME,
+    LATE_BROADCAST,
+    LATE_RECEIVER,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+    WAIT_AT_NXN,
+    PatternContribution,
+    early_gather_contribution,
+    late_broadcast_contribution,
+    late_receiver_contribution,
+    late_sender_contribution,
+    nxn_wait_contribution,
+)
+from repro.analysis.report import DiagnosisReport
+from repro.trace.events import Event
+from repro.trace.trace import SegmentedTrace
+
+__all__ = ["analyze", "AnalysisError"]
+
+
+class AnalysisError(RuntimeError):
+    """Raised when the trace cannot be analyzed (inconsistent communication)."""
+
+
+@dataclass(slots=True)
+class _MpiEventRef:
+    rank: int
+    event: Event
+
+
+def analyze(trace: SegmentedTrace) -> DiagnosisReport:
+    """Analyze a segmented trace and return its diagnosis report."""
+    nprocs = trace.nprocs
+    report = DiagnosisReport(name=trace.name, nprocs=nprocs, wall_time=trace.duration())
+
+    collective_groups: dict[int, list[_MpiEventRef]] = defaultdict(list)
+    pending_sends: dict[tuple[int, int, int], list[_MpiEventRef]] = defaultdict(list)
+    pending_recvs: dict[tuple[int, int, int], list[_MpiEventRef]] = defaultdict(list)
+
+    for rank_trace in trace.ranks:
+        rank = rank_trace.rank
+        collective_seq = 0
+        for event in rank_trace.events():
+            report.add(EXECUTION_TIME, event.name, rank, event.duration, event.duration)
+            if event.mpi is None:
+                continue
+            info = event.mpi
+            ref = _MpiEventRef(rank=rank, event=event)
+            if info.is_collective:
+                collective_groups[collective_seq].append(ref)
+                collective_seq += 1
+            elif info.op in ("send", "ssend"):
+                pending_sends[(rank, info.peer, info.tag or 0)].append(ref)
+            elif info.op == "recv":
+                pending_recvs[(info.peer, rank, info.tag or 0)].append(ref)
+            elif info.op == "sendrecv":
+                # The send half can make a remote receiver wait (Late Sender
+                # at the remote side); the receive half can itself be a Late
+                # Sender victim.  Both halves are registered like their plain
+                # point-to-point counterparts.
+                pending_sends[(rank, info.peer, info.tag or 0)].append(ref)
+                source = info.source if info.source is not None else info.peer
+                pending_recvs[(source, rank, info.tag or 0)].append(ref)
+
+    for contribution in _collective_contributions(collective_groups, nprocs):
+        report.add(
+            contribution.metric,
+            contribution.location,
+            contribution.rank,
+            contribution.waiting,
+            contribution.signed,
+        )
+    for contribution in _p2p_contributions(pending_sends, pending_recvs):
+        report.add(
+            contribution.metric,
+            contribution.location,
+            contribution.rank,
+            contribution.waiting,
+            contribution.signed,
+        )
+    return report
+
+
+# -- collectives ---------------------------------------------------------------
+
+
+def _collective_contributions(
+    groups: dict[int, list[_MpiEventRef]], nprocs: int
+) -> Iterable[PatternContribution]:
+    for seq, members in sorted(groups.items()):
+        if len(members) != nprocs:
+            raise AnalysisError(
+                f"collective #{seq} has {len(members)} participants, expected {nprocs}; "
+                "the trace's collective sequence is inconsistent across ranks"
+            )
+        ops = {m.event.mpi.op for m in members}
+        if len(ops) != 1:
+            raise AnalysisError(
+                f"collective #{seq} mixes operations {sorted(ops)}; "
+                "ranks disagree on the collective call sequence"
+            )
+        op = ops.pop()
+        location = members[0].event.name
+        enters = {m.rank: m.event.start for m in members}
+        if op in ("barrier", "allreduce", "allgather", "alltoall"):
+            metric = WAIT_AT_BARRIER if op == "barrier" else WAIT_AT_NXN
+            for member in members:
+                others = [t for r, t in enters.items() if r != member.rank]
+                if not others:
+                    continue
+                yield nxn_wait_contribution(
+                    metric, location, member.rank, enters[member.rank], max(others)
+                )
+        elif op in ("bcast", "scatter"):
+            root = members[0].event.mpi.root
+            if root is None or root not in enters:
+                raise AnalysisError(f"fan-out collective #{seq} has no valid root")
+            root_enter = enters[root]
+            for member in members:
+                if member.rank == root:
+                    continue
+                yield late_broadcast_contribution(
+                    location, member.rank, enters[member.rank], root_enter
+                )
+        elif op in ("gather", "reduce"):
+            root = members[0].event.mpi.root
+            if root is None or root not in enters:
+                raise AnalysisError(f"fan-in collective #{seq} has no valid root")
+            senders = [t for r, t in enters.items() if r != root]
+            if senders:
+                yield early_gather_contribution(location, root, enters[root], max(senders))
+        else:  # pragma: no cover - collective op set is closed
+            raise AnalysisError(f"unknown collective operation {op!r}")
+
+
+# -- point-to-point --------------------------------------------------------------
+
+
+def _p2p_contributions(
+    sends: dict[tuple[int, int, int], list[_MpiEventRef]],
+    recvs: dict[tuple[int, int, int], list[_MpiEventRef]],
+) -> Iterable[PatternContribution]:
+    for key, recv_list in recvs.items():
+        send_list = sends.get(key, [])
+        for send_ref, recv_ref in zip(send_list, recv_list):
+            send_event = send_ref.event
+            recv_event = recv_ref.event
+            yield late_sender_contribution(
+                recv_event.name, recv_ref.rank, recv_event.start, send_event.start
+            )
+            if send_event.mpi is not None and send_event.mpi.op == "ssend":
+                yield late_receiver_contribution(
+                    send_event.name, send_ref.rank, send_event.start, recv_event.start
+                )

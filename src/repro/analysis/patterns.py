@@ -1,0 +1,123 @@
+"""Inefficiency patterns and their severity definitions.
+
+Each pattern mirrors the corresponding KOJAK/EXPERT wait state.  For every
+pattern instance we compute two values per affected rank:
+
+* ``waiting`` — the KOJAK severity: non-negative waiting time in µs;
+* ``signed`` — the same quantity without clamping at zero.  On a full trace
+  the two agree wherever waiting occurs; on a reconstructed trace with skewed
+  timestamps the signed value can go negative, which is how the paper's
+  figures end up showing negative severities for some methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LATE_SENDER",
+    "LATE_RECEIVER",
+    "LATE_BROADCAST",
+    "EARLY_GATHER",
+    "WAIT_AT_BARRIER",
+    "WAIT_AT_NXN",
+    "EXECUTION_TIME",
+    "WAIT_METRICS",
+    "METRIC_ABBREVIATIONS",
+    "PatternContribution",
+]
+
+#: Receiver blocked in a receive because the sender had not reached the send.
+LATE_SENDER = "Late Sender"
+#: Synchronous sender blocked because the receiver had not reached the receive.
+LATE_RECEIVER = "Late Receiver"
+#: Non-root ranks blocked in a fan-out collective because the root was late.
+LATE_BROADCAST = "Late Broadcast"
+#: Root of a fan-in collective blocked waiting for the last sender.
+EARLY_GATHER = "Early Gather"
+#: Ranks blocked in a barrier waiting for the last arrival.
+WAIT_AT_BARRIER = "Wait at Barrier"
+#: Ranks blocked in a symmetric N×N collective waiting for the last arrival.
+WAIT_AT_NXN = "Wait at NxN"
+#: Plain time spent in a function (not a wait state).
+EXECUTION_TIME = "Execution Time"
+
+#: The wait-state metrics (everything except plain execution time).
+WAIT_METRICS = frozenset(
+    {LATE_SENDER, LATE_RECEIVER, LATE_BROADCAST, EARLY_GATHER, WAIT_AT_BARRIER, WAIT_AT_NXN}
+)
+
+#: Abbreviations used in the paper's severity charts (Figure 4).
+METRIC_ABBREVIATIONS: dict[str, str] = {
+    LATE_SENDER: "LS",
+    LATE_RECEIVER: "LR",
+    LATE_BROADCAST: "LB",
+    EARLY_GATHER: "ER",
+    WAIT_AT_BARRIER: "WB",
+    WAIT_AT_NXN: "NN",
+    EXECUTION_TIME: "T",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class PatternContribution:
+    """One pattern instance's contribution to the severity matrix."""
+
+    metric: str
+    location: str
+    rank: int
+    waiting: float
+    signed: float
+
+    @staticmethod
+    def from_signed(metric: str, location: str, rank: int, signed: float) -> "PatternContribution":
+        return PatternContribution(
+            metric=metric,
+            location=location,
+            rank=rank,
+            waiting=max(0.0, signed),
+            signed=signed,
+        )
+
+
+def late_sender_contribution(
+    location: str, receiver_rank: int, recv_enter: float, send_enter: float
+) -> PatternContribution:
+    """Late Sender: receiver waited ``send enter − receive enter`` µs."""
+    return PatternContribution.from_signed(
+        LATE_SENDER, location, receiver_rank, send_enter - recv_enter
+    )
+
+
+def late_receiver_contribution(
+    location: str, sender_rank: int, send_enter: float, recv_enter: float
+) -> PatternContribution:
+    """Late Receiver: synchronous sender waited ``receive enter − send enter`` µs."""
+    return PatternContribution.from_signed(
+        LATE_RECEIVER, location, sender_rank, recv_enter - send_enter
+    )
+
+
+def late_broadcast_contribution(
+    location: str, receiver_rank: int, receiver_enter: float, root_enter: float
+) -> PatternContribution:
+    """Late Broadcast: fan-out receiver waited ``root enter − own enter`` µs."""
+    return PatternContribution.from_signed(
+        LATE_BROADCAST, location, receiver_rank, root_enter - receiver_enter
+    )
+
+
+def early_gather_contribution(
+    location: str, root_rank: int, root_enter: float, last_sender_enter: float
+) -> PatternContribution:
+    """Early Gather/Reduce: root waited ``last sender enter − root enter`` µs."""
+    return PatternContribution.from_signed(
+        EARLY_GATHER, location, root_rank, last_sender_enter - root_enter
+    )
+
+
+def nxn_wait_contribution(
+    metric: str, location: str, rank: int, own_enter: float, last_other_enter: float
+) -> PatternContribution:
+    """Wait at Barrier / Wait at N×N: waited ``last other enter − own enter`` µs."""
+    return PatternContribution.from_signed(metric, location, rank, last_other_enter - own_enter)

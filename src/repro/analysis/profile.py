@@ -1,0 +1,102 @@
+"""Flat profiling — the baseline the paper argues is *not* enough.
+
+Section 1 of the paper motivates event tracing with the observation that a
+profile (per-function summary times) cannot distinguish a Late Sender from,
+say, a Late Receiver or network contention: both simply show "a lot of time in
+MPI".  This module computes exactly that flat profile from a segmented trace
+so the argument can be demonstrated quantitatively (see
+``examples/profile_vs_trace.py`` and the corresponding tests): workloads with
+*different* root causes produce near-identical profiles but clearly different
+wait-state diagnoses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.trace.trace import SegmentedTrace
+from repro.util.tables import format_table
+
+__all__ = ["ProfileEntry", "FlatProfile", "flat_profile"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileEntry:
+    """Aggregate statistics for one traced function."""
+
+    name: str
+    calls: int
+    total_time: float
+    mean_time: float
+    max_time: float
+    fraction: float
+
+    def as_row(self) -> list:
+        return [
+            self.name,
+            self.calls,
+            self.total_time,
+            self.mean_time,
+            self.max_time,
+            100.0 * self.fraction,
+        ]
+
+
+@dataclass(slots=True)
+class FlatProfile:
+    """A per-function flat profile of one application trace."""
+
+    name: str
+    entries: list[ProfileEntry]
+    total_time: float
+
+    def entry(self, function: str) -> ProfileEntry:
+        for entry in self.entries:
+            if entry.name == function:
+                return entry
+        return ProfileEntry(name=function, calls=0, total_time=0.0, mean_time=0.0, max_time=0.0, fraction=0.0)
+
+    def mpi_fraction(self, prefixes: Iterable[str] = ("MPI_", "pmpi_")) -> float:
+        """Fraction of total time spent in functions with an MPI-like prefix."""
+        if self.total_time <= 0:
+            return 0.0
+        mpi_time = sum(
+            e.total_time for e in self.entries if any(e.name.startswith(p) for p in prefixes)
+        )
+        return mpi_time / self.total_time
+
+    def as_table(self) -> str:
+        return format_table(
+            ["function", "calls", "total (us)", "mean (us)", "max (us)", "% of total"],
+            [e.as_row() for e in self.entries],
+            float_fmt=".4g",
+            title=f"flat profile — {self.name}",
+        )
+
+
+def flat_profile(trace: SegmentedTrace) -> FlatProfile:
+    """Compute the per-function flat profile of ``trace`` (all ranks combined)."""
+    durations: dict[str, list[float]] = {}
+    for rank_trace in trace.ranks:
+        for event in rank_trace.events():
+            durations.setdefault(event.name, []).append(event.duration)
+    total_time = float(sum(sum(values) for values in durations.values()))
+    entries = []
+    for name, values in durations.items():
+        arr = np.asarray(values, dtype=float)
+        total = float(arr.sum())
+        entries.append(
+            ProfileEntry(
+                name=name,
+                calls=int(arr.size),
+                total_time=total,
+                mean_time=float(arr.mean()),
+                max_time=float(arr.max()),
+                fraction=total / total_time if total_time > 0 else 0.0,
+            )
+        )
+    entries.sort(key=lambda e: e.total_time, reverse=True)
+    return FlatProfile(name=trace.name, entries=entries, total_time=total_time)

@@ -1,0 +1,104 @@
+"""Diagnosis report: the severity matrix produced by the analyzer.
+
+A report holds, for every ``(metric, code location)`` pair, the per-rank
+severity vector — the same information a CUBE display shows (metric pane ×
+call-tree pane × process pane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.analysis.patterns import EXECUTION_TIME, WAIT_METRICS
+
+__all__ = ["DiagnosisReport"]
+
+Key = tuple[str, str]
+
+
+@dataclass(slots=True)
+class DiagnosisReport:
+    """Per-(metric, location, rank) severities for one analyzed trace.
+
+    Attributes
+    ----------
+    name:
+        Name of the analyzed trace.
+    nprocs:
+        Number of ranks.
+    severities:
+        ``(metric, location) -> per-rank waiting time`` (µs, non-negative).
+    signed:
+        Same keys, but without clamping negative waits at zero.
+    wall_time:
+        Wall-clock span of the trace in µs (used to express severities as a
+        fraction of run time).
+    """
+
+    name: str
+    nprocs: int
+    severities: dict[Key, np.ndarray] = field(default_factory=dict)
+    signed: dict[Key, np.ndarray] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, metric: str, location: str, rank: int, waiting: float, signed: float) -> None:
+        """Accumulate one pattern contribution."""
+        key = (metric, location)
+        if key not in self.severities:
+            self.severities[key] = np.zeros(self.nprocs, dtype=float)
+            self.signed[key] = np.zeros(self.nprocs, dtype=float)
+        self.severities[key][rank] += waiting
+        self.signed[key][rank] += signed
+
+    # -- queries ---------------------------------------------------------------
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self.severities)
+
+    def per_rank(self, metric: str, location: str) -> np.ndarray:
+        """Per-rank waiting-time vector (zeros if the diagnosis never occurred)."""
+        return self.severities.get((metric, location), np.zeros(self.nprocs, dtype=float))
+
+    def per_rank_signed(self, metric: str, location: str) -> np.ndarray:
+        return self.signed.get((metric, location), np.zeros(self.nprocs, dtype=float))
+
+    def total(self, metric: str, location: str) -> float:
+        """Total severity (sum over ranks) of one diagnosis."""
+        return float(self.per_rank(metric, location).sum())
+
+    def wait_diagnoses(self) -> dict[Key, np.ndarray]:
+        """Only the wait-state diagnoses (excludes plain execution time)."""
+        return {k: v for k, v in self.severities.items() if k[0] in WAIT_METRICS}
+
+    def execution_times(self) -> dict[Key, np.ndarray]:
+        """Per-function execution-time entries."""
+        return {k: v for k, v in self.severities.items() if k[0] == EXECUTION_TIME}
+
+    def max_wait_total(self) -> float:
+        """Largest total severity among the wait-state diagnoses (0 if none)."""
+        totals = [float(v.sum()) for k, v in self.wait_diagnoses().items()]
+        return max(totals) if totals else 0.0
+
+    def major_diagnoses(self, *, fraction: float = 0.1, floor: float = 0.0) -> list[Key]:
+        """Wait diagnoses whose total severity is at least ``fraction`` of the
+        largest wait total and above ``floor`` µs — the diagnoses an analyst
+        would actually look at."""
+        reference = self.max_wait_total()
+        result = []
+        for key, values in self.wait_diagnoses().items():
+            total = float(values.sum())
+            if total >= fraction * reference and total > floor:
+                result.append(key)
+        return sorted(result)
+
+    def as_table(self) -> list[tuple[str, str, float, float]]:
+        """Rows of (metric, location, total severity, max per-rank severity)."""
+        rows = []
+        for (metric, location), values in sorted(self.severities.items()):
+            rows.append((metric, location, float(values.sum()), float(values.max())))
+        return rows

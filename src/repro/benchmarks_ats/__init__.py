@@ -1,0 +1,44 @@
+"""APART-Test-Suite-style benchmark generators.
+
+The paper builds its evaluation programs with the APART Test Suite (ATS), a
+collection of utilities that create parallel programs with *known* performance
+behaviour.  This subpackage recreates those programs on top of the simulator:
+
+* regular benchmarks — the same performance problem with the same severity in
+  every iteration (``late_sender``, ``late_receiver``, ``early_gather``,
+  ``late_broadcast``, ``imbalance_at_mpi_barrier``);
+* irregular benchmarks — perfectly balanced work disturbed only by simulated
+  ASCI-Q-style system interference, for each communication category
+  (``Nto1``, ``1toN``, ``1to1r``, ``1to1s``, ``NtoN``) at two noise scales
+  (``_32`` and ``_1024``);
+* ``dyn_load_balance`` — progressively growing imbalance reset by a periodic
+  load balancer.
+
+Every generator returns a :class:`~repro.benchmarks_ats.base.Workload`
+(program + simulator configuration + expected diagnosis), so tests and the
+evaluation harness know what behaviour the trace *should* contain.
+"""
+
+from repro.benchmarks_ats.base import Workload, jittered
+from repro.benchmarks_ats.regular import (
+    early_gather,
+    imbalance_at_mpi_barrier,
+    late_broadcast,
+    late_receiver,
+    late_sender,
+)
+from repro.benchmarks_ats.irregular import INTERFERENCE_PATTERNS, interference
+from repro.benchmarks_ats.load_balance import dyn_load_balance
+
+__all__ = [
+    "Workload",
+    "jittered",
+    "late_sender",
+    "late_receiver",
+    "early_gather",
+    "late_broadcast",
+    "imbalance_at_mpi_barrier",
+    "interference",
+    "INTERFERENCE_PATTERNS",
+    "dyn_load_balance",
+]

@@ -1,0 +1,127 @@
+"""Benchmarks with irregular behaviour (system interference).
+
+These recreate the paper's second benchmark category: perfectly balanced
+~1 ms work periods followed by a communication step, disturbed only by
+simulated ASCI-Q-style operating-system interference (Petrini et al.).  Most
+iterations look identical; occasionally an interrupt steals CPU time from one
+rank, delaying everyone who synchronises with it.  A good reduction method
+must *not* merge disturbed and undisturbed iterations, or the periodic
+behaviour change disappears from the reduced trace.
+
+The paper runs each of five communication patterns with two interference
+scenarios: the noise of a 32-node run (``_32``) and the noise a 1024-process
+run would experience (``_1024``), both simulated on 32 ranks.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks_ats.base import Workload, jittered
+from repro.simulator.engine import SimulatorConfig
+from repro.simulator.noise import asci_q_noise
+from repro.simulator.program import RankProgramBuilder, build_program
+from repro.util.rng import rng_for
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["INTERFERENCE_PATTERNS", "interference"]
+
+#: Communication patterns of the interference suite, mapping the paper's
+#: pattern names to (expected metric, expected code location).
+INTERFERENCE_PATTERNS: dict[str, tuple[str, str]] = {
+    "Nto1": ("Early Gather", "MPI_Gather"),
+    "1toN": ("Late Broadcast", "MPI_Bcast"),
+    "1to1r": ("Late Sender", "MPI_Recv"),
+    "1to1s": ("Late Receiver", "MPI_Ssend"),
+    "NtoN": ("Wait at Barrier", "MPI_Barrier"),
+}
+
+
+def interference(
+    pattern: str,
+    simulated_procs: int,
+    *,
+    nprocs: int = 32,
+    iterations: int = 100,
+    work: float = 1000.0,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> Workload:
+    """Build one interference benchmark.
+
+    Parameters
+    ----------
+    pattern:
+        One of :data:`INTERFERENCE_PATTERNS` (``"Nto1"``, ``"1toN"``,
+        ``"1to1r"``, ``"1to1s"``, ``"NtoN"``).
+    simulated_procs:
+        Size of the machine whose noise is simulated (32 or 1024 in the
+        paper); becomes the ``_32`` / ``_1024`` suffix of the workload name.
+    nprocs:
+        Number of simulated ranks (the paper uses 32).
+    iterations:
+        Main-loop iterations.
+    work:
+        Balanced per-iteration work in µs (≈1 ms in the paper).
+    jitter:
+        Relative jitter of the work durations.
+    seed:
+        Seed for jitter and noise phases.
+    """
+    if pattern not in INTERFERENCE_PATTERNS:
+        raise ValueError(
+            f"unknown interference pattern {pattern!r}; expected one of "
+            f"{sorted(INTERFERENCE_PATTERNS)}"
+        )
+    check_positive("nprocs", nprocs)
+    check_positive("iterations", iterations)
+    check_positive("work", work)
+    check_non_negative("jitter", jitter)
+    if pattern in ("1to1r", "1to1s") and nprocs % 2:
+        raise ValueError(f"pattern {pattern!r} requires an even number of processes")
+
+    name = f"{pattern}_{simulated_procs}"
+    metric, location = INTERFERENCE_PATTERNS[pattern]
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "interference", name, rank)
+        with b.segment("init"):
+            b.mpi_init()
+        for _ in b.loop("main.1", iterations):
+            b.compute("do_work", jittered(rng, work, jitter))
+            if pattern == "Nto1":
+                b.gather(0)
+            elif pattern == "1toN":
+                b.bcast(0)
+            elif pattern == "NtoN":
+                b.barrier()
+            elif pattern == "1to1r":
+                # standard send + blocking receive: interference on the sender
+                # shows up as Late Sender waits at the receiver.
+                if rank % 2 == 0:
+                    b.send(rank + 1)
+                else:
+                    b.recv(rank - 1)
+            elif pattern == "1to1s":
+                # synchronous send: interference on the receiver shows up as
+                # Late Receiver waits at the sender.
+                if rank % 2 == 0:
+                    b.ssend(rank + 1)
+                else:
+                    b.recv(rank - 1)
+        with b.segment("final"):
+            b.mpi_finalize()
+
+    config = SimulatorConfig(
+        noise=asci_q_noise(nprocs, simulated_procs, seed=seed),
+        seed=seed,
+    )
+    return Workload(
+        name=name,
+        program=build_program(name, nprocs, body),
+        config=config,
+        description=(
+            f"balanced 1 ms work + {pattern} communication, disturbed by simulated "
+            f"system interference scaled to {simulated_procs} processes"
+        ),
+        expected_metric=metric,
+        expected_location=location,
+    )

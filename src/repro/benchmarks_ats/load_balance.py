@@ -1,0 +1,100 @@
+"""Dynamic-load-balancing benchmark.
+
+Recreates the paper's ``dyn_load_balance`` program: per-iteration work starts
+at about 1 ms and drifts apart — the upper half of the ranks does a little
+more work every iteration, the lower half a little less — until the "load
+balancer" triggers and resets everyone to equal work.  The resulting
+performance problem is imbalance at ``MPI_Alltoall`` (N-to-N category): the
+under-loaded lower ranks arrive early and wait for the overloaded upper ranks,
+and the imbalance severity itself varies over time.
+
+This is the workload where iteration-averaging methods are expected to wash
+out the time-varying behaviour (Section 5.2.3, Figure 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks_ats.base import Workload, jittered
+from repro.simulator.engine import SimulatorConfig
+from repro.simulator.program import RankProgramBuilder, build_program
+from repro.util.rng import rng_for
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["dyn_load_balance", "work_schedule"]
+
+
+def work_schedule(
+    rank: int,
+    nprocs: int,
+    iterations: int,
+    *,
+    base_work: float,
+    drift: float,
+    rebalance_period: int,
+) -> list[float]:
+    """Nominal per-iteration work for one rank, before jitter.
+
+    Upper-half ranks gain ``drift`` µs per iteration since the last rebalance,
+    lower-half ranks lose the same amount (floored at 10 % of the base), and
+    every ``rebalance_period`` iterations the "load balancer" resets the drift.
+    """
+    check_positive("base_work", base_work)
+    check_non_negative("drift", drift)
+    check_positive("rebalance_period", rebalance_period)
+    upper_half = rank >= nprocs // 2
+    schedule: list[float] = []
+    for iteration in range(iterations):
+        steps_since_rebalance = iteration % rebalance_period
+        delta = drift * steps_since_rebalance
+        if upper_half:
+            work = base_work + delta
+        else:
+            work = max(0.1 * base_work, base_work - delta)
+        schedule.append(work)
+    return schedule
+
+
+def dyn_load_balance(
+    nprocs: int = 8,
+    iterations: int = 100,
+    *,
+    base_work: float = 1000.0,
+    drift: float = 60.0,
+    rebalance_period: int = 10,
+    jitter: float = 0.02,
+    seed: int = 0,
+) -> Workload:
+    """Build the dynamic-load-balancing workload (8 processes in the paper)."""
+    check_positive("nprocs", nprocs)
+    check_positive("iterations", iterations)
+    check_non_negative("jitter", jitter)
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "dyn_load_balance", rank)
+        schedule = work_schedule(
+            rank,
+            nprocs,
+            iterations,
+            base_work=base_work,
+            drift=drift,
+            rebalance_period=rebalance_period,
+        )
+        with b.segment("init"):
+            b.mpi_init()
+        for i in b.loop("main.1", iterations):
+            b.compute("do_work", jittered(rng, schedule[i], jitter))
+            b.alltoall()
+        with b.segment("final"):
+            b.mpi_finalize()
+
+    return Workload(
+        name="dyn_load_balance",
+        program=build_program("dyn_load_balance", nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description=(
+            "work drifts apart between the lower and upper half of the ranks until a "
+            "periodic load balancer resets it; imbalance shows up at MPI_Alltoall"
+        ),
+        expected_metric="Wait at NxN",
+        expected_location="MPI_Alltoall",
+    )

@@ -1,0 +1,225 @@
+"""Benchmarks with regular behaviour.
+
+Each benchmark exhibits the same performance problem with the same severity in
+every iteration (Section 4.1 of the paper), so every iteration's segment is
+*nearly* identical — the ideal case for similarity-based reduction.  All five
+ATS behaviours used in the paper are provided:
+
+================  ======================  ==========================
+benchmark         communication category  expected diagnosis
+================  ======================  ==========================
+late_sender       1 → 1                   Late Sender at MPI_Recv
+late_receiver     1 → 1 (synchronous)     Late Receiver at MPI_Ssend
+early_gather      N → 1                   Early Gather at MPI_Gather
+late_broadcast    1 → N                   Late Broadcast at MPI_Bcast
+imbalance_at_mpi_barrier  N → N           Wait at Barrier at MPI_Barrier
+================  ======================  ==========================
+
+All workloads default to 8 processes, matching the paper.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks_ats.base import Workload, jittered
+from repro.simulator.engine import SimulatorConfig
+from repro.simulator.program import RankProgramBuilder, build_program
+from repro.util.rng import rng_for
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "late_sender",
+    "late_receiver",
+    "early_gather",
+    "late_broadcast",
+    "imbalance_at_mpi_barrier",
+]
+
+#: Default work quantum (µs); the paper's benchmarks use roughly 1 ms periods.
+DEFAULT_WORK_US = 1000.0
+#: Default severity of the induced performance problem (µs per iteration).
+DEFAULT_SEVERITY_US = 500.0
+#: Default relative jitter of work durations.
+DEFAULT_JITTER = 0.02
+
+
+def _wrap_main_loop(builder: RankProgramBuilder, iterations: int):
+    """Standard program skeleton: init segment, main loop, final segment."""
+    with builder.segment("init"):
+        builder.mpi_init()
+    yield from builder.loop("main.1", iterations)
+    with builder.segment("final"):
+        builder.mpi_finalize()
+
+
+def _check_common(nprocs: int, iterations: int, work: float, severity: float, jitter: float) -> None:
+    check_positive("nprocs", nprocs)
+    check_positive("iterations", iterations)
+    check_positive("work", work)
+    check_non_negative("severity", severity)
+    check_non_negative("jitter", jitter)
+
+
+def late_sender(
+    nprocs: int = 8,
+    iterations: int = 100,
+    *,
+    work: float = DEFAULT_WORK_US,
+    severity: float = DEFAULT_SEVERITY_US,
+    jitter: float = DEFAULT_JITTER,
+    seed: int = 0,
+) -> Workload:
+    """Receivers block in ``MPI_Recv`` because the paired sender is late.
+
+    Ranks are paired (0↔1, 2↔3, ...); even ranks do ``severity`` µs of extra
+    work before sending, so the odd ranks wait that long in every iteration.
+    """
+    _check_common(nprocs, iterations, work, severity, jitter)
+    if nprocs % 2:
+        raise ValueError("late_sender requires an even number of processes")
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "late_sender", rank)
+        is_sender = rank % 2 == 0
+        peer = rank + 1 if is_sender else rank - 1
+        for _ in _wrap_main_loop(b, iterations):
+            if is_sender:
+                b.compute("do_work", jittered(rng, work + severity, jitter))
+                b.send(peer)
+            else:
+                b.compute("do_work", jittered(rng, work, jitter))
+                b.recv(peer)
+
+    return Workload(
+        name="late_sender",
+        program=build_program("late_sender", nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description="even ranks send late; odd ranks wait in MPI_Recv every iteration",
+        expected_metric="Late Sender",
+        expected_location="MPI_Recv",
+    )
+
+
+def late_receiver(
+    nprocs: int = 8,
+    iterations: int = 100,
+    *,
+    work: float = DEFAULT_WORK_US,
+    severity: float = DEFAULT_SEVERITY_US,
+    jitter: float = DEFAULT_JITTER,
+    seed: int = 0,
+) -> Workload:
+    """Synchronous senders block in ``MPI_Ssend`` because the receiver is late."""
+    _check_common(nprocs, iterations, work, severity, jitter)
+    if nprocs % 2:
+        raise ValueError("late_receiver requires an even number of processes")
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "late_receiver", rank)
+        is_sender = rank % 2 == 0
+        peer = rank + 1 if is_sender else rank - 1
+        for _ in _wrap_main_loop(b, iterations):
+            if is_sender:
+                b.compute("do_work", jittered(rng, work, jitter))
+                b.ssend(peer)
+            else:
+                b.compute("do_work", jittered(rng, work + severity, jitter))
+                b.recv(peer)
+
+    return Workload(
+        name="late_receiver",
+        program=build_program("late_receiver", nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description="odd ranks receive late; even ranks wait in MPI_Ssend every iteration",
+        expected_metric="Late Receiver",
+        expected_location="MPI_Ssend",
+    )
+
+
+def early_gather(
+    nprocs: int = 8,
+    iterations: int = 100,
+    *,
+    work: float = DEFAULT_WORK_US,
+    severity: float = DEFAULT_SEVERITY_US,
+    jitter: float = DEFAULT_JITTER,
+    root: int = 0,
+    seed: int = 0,
+) -> Workload:
+    """The gather root arrives early and waits for the other ranks."""
+    _check_common(nprocs, iterations, work, severity, jitter)
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "early_gather", rank)
+        for _ in _wrap_main_loop(b, iterations):
+            duration = work if rank == root else work + severity
+            b.compute("do_work", jittered(rng, duration, jitter))
+            b.gather(root)
+
+    return Workload(
+        name="early_gather",
+        program=build_program("early_gather", nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description="gather root arrives early and waits for the senders",
+        expected_metric="Early Gather",
+        expected_location="MPI_Gather",
+    )
+
+
+def late_broadcast(
+    nprocs: int = 8,
+    iterations: int = 100,
+    *,
+    work: float = DEFAULT_WORK_US,
+    severity: float = DEFAULT_SEVERITY_US,
+    jitter: float = DEFAULT_JITTER,
+    root: int = 0,
+    seed: int = 0,
+) -> Workload:
+    """The broadcast root is late; every other rank waits in ``MPI_Bcast``."""
+    _check_common(nprocs, iterations, work, severity, jitter)
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "late_broadcast", rank)
+        for _ in _wrap_main_loop(b, iterations):
+            duration = work + severity if rank == root else work
+            b.compute("do_work", jittered(rng, duration, jitter))
+            b.bcast(root)
+
+    return Workload(
+        name="late_broadcast",
+        program=build_program("late_broadcast", nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description="broadcast root is late; all receivers wait in MPI_Bcast",
+        expected_metric="Late Broadcast",
+        expected_location="MPI_Bcast",
+    )
+
+
+def imbalance_at_mpi_barrier(
+    nprocs: int = 8,
+    iterations: int = 100,
+    *,
+    work: float = DEFAULT_WORK_US,
+    severity: float = DEFAULT_SEVERITY_US,
+    jitter: float = DEFAULT_JITTER,
+    seed: int = 0,
+) -> Workload:
+    """One rank carries extra load, so everyone else waits at ``MPI_Barrier``."""
+    _check_common(nprocs, iterations, work, severity, jitter)
+    heavy_rank = nprocs - 1
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "imbalance_at_mpi_barrier", rank)
+        for _ in _wrap_main_loop(b, iterations):
+            duration = work + severity if rank == heavy_rank else work
+            b.compute("do_work", jittered(rng, duration, jitter))
+            b.barrier()
+
+    return Workload(
+        name="imbalance_at_mpi_barrier",
+        program=build_program("imbalance_at_mpi_barrier", nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description="the last rank is overloaded; all other ranks wait at MPI_Barrier",
+        expected_metric="Wait at Barrier",
+        expected_location="MPI_Barrier",
+    )

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Installed as the ``repro-trace`` console script.  The CLI exposes the study
+pipeline without writing any Python:
+
+* ``repro-trace list``                       — available workloads, methods, scales
+* ``repro-trace evaluate <workload>``        — the four criteria for selected methods
+* ``repro-trace thresholds <method>``        — the threshold study for one method
+* ``repro-trace trends <workload>``          — the retention-of-trends table
+* ``repro-trace figure <fig5|fig6|fig7|fig8>`` — regenerate a comparative figure
+
+All commands accept ``--scale {smoke,default,paper}`` (default: the
+``REPRO_SCALE`` environment variable, falling back to ``default``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.metrics import METRIC_NAMES, THRESHOLD_STUDY
+from repro.experiments.comparative import (
+    comparative_study,
+    fig5_size_and_matching,
+    fig6_approximation_distance,
+    fig7_dyn_load_balance_trends,
+    fig8_interference_trends,
+)
+from repro.experiments.config import ALL_WORKLOAD_NAMES, SCALES, build_workload, get_scale
+from repro.experiments.formatting import (
+    format_comparative_results,
+    format_rows,
+    format_trend_table,
+)
+from repro.experiments.thresholds import threshold_study_rows
+from repro.experiments.trend_tables import trend_table
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Similarity-based trace reduction study (Mohror & Karavanic, 2009).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="workload scale profile (default: $REPRO_SCALE or 'default')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, similarity methods, and scale profiles")
+
+    evaluate = sub.add_parser("evaluate", help="run the comparative criteria on one workload")
+    evaluate.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
+    evaluate.add_argument(
+        "--methods",
+        nargs="+",
+        choices=METRIC_NAMES,
+        default=list(METRIC_NAMES),
+        help="similarity methods to evaluate (default: all nine)",
+    )
+
+    thresholds = sub.add_parser("thresholds", help="threshold study for one method")
+    thresholds.add_argument("method", choices=sorted(THRESHOLD_STUDY))
+    thresholds.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=ALL_WORKLOAD_NAMES,
+        default=None,
+        help="workloads to sweep (default: the 16 benchmark programs)",
+    )
+
+    trends = sub.add_parser("trends", help="retention-of-trends table for one workload")
+    trends.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
+    trends.add_argument(
+        "--methods", nargs="+", choices=METRIC_NAMES, default=None, help="methods to include"
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's comparative figures")
+    figure.add_argument("which", choices=("fig5", "fig6", "fig7", "fig8"))
+
+    describe = sub.add_parser("describe", help="describe one workload without running it")
+    describe.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
+
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["workloads:"]
+    lines += [f"  {name}" for name in ALL_WORKLOAD_NAMES]
+    lines.append("similarity methods:")
+    lines += [f"  {name}" for name in METRIC_NAMES]
+    lines.append("scale profiles:")
+    lines += [f"  {name}" for name in sorted(SCALES)]
+    return "\n".join(lines)
+
+
+def _cmd_describe(workload_name: str, scale) -> str:
+    workload = build_workload(workload_name, scale)
+    rows = [
+        ["name", workload.name],
+        ["processes", workload.nprocs],
+        ["operations", workload.program.num_ops],
+        ["expected metric", workload.expected_metric or "-"],
+        ["expected location", workload.expected_location or "-"],
+        ["description", workload.description],
+    ]
+    return format_table(["property", "value"], rows, title=f"workload {workload_name}")
+
+
+def _cmd_evaluate(workload_name: str, methods: Sequence[str], scale) -> str:
+    results = comparative_study((workload_name,), tuple(methods), scale=scale)
+    return format_comparative_results(
+        results, title=f"comparative study — {workload_name} (scale={scale.name})"
+    )
+
+
+def _cmd_thresholds(method: str, workloads: Optional[Sequence[str]], scale) -> str:
+    rows = threshold_study_rows(method, workloads, scale=scale)
+    return format_rows(rows, title=f"threshold study — {method} (scale={scale.name})")
+
+
+def _cmd_trends(workload_name: str, methods: Optional[Sequence[str]], scale) -> str:
+    table = trend_table(workload_name, methods, scale=scale)
+    return format_trend_table(
+        table, title=f"retention of performance trends — {workload_name} (scale={scale.name})"
+    )
+
+
+def _cmd_figure(which: str, scale) -> str:
+    if which == "fig5":
+        return format_rows(fig5_size_and_matching(scale=scale), title="Figure 5")
+    if which == "fig6":
+        return format_rows(fig6_approximation_distance(scale=scale), title="Figure 6")
+    if which == "fig7":
+        charts = fig7_dyn_load_balance_trends(scale=scale)
+    else:
+        charts = fig8_interference_trends(scale=scale)
+    return "\n\n".join(charts.values())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    if args.command == "list":
+        output = _cmd_list()
+    elif args.command == "describe":
+        output = _cmd_describe(args.workload, scale)
+    elif args.command == "evaluate":
+        output = _cmd_evaluate(args.workload, args.methods, scale)
+    elif args.command == "thresholds":
+        output = _cmd_thresholds(args.method, args.workloads, scale)
+    elif args.command == "trends":
+        output = _cmd_trends(args.workload, args.methods, scale)
+    elif args.command == "figure":
+        output = _cmd_figure(args.which, scale)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Trace reduction: the paper's primary contribution.
+
+The pipeline is:
+
+1. segment every rank's trace (done by :mod:`repro.trace`);
+2. :class:`~repro.core.reducer.TraceReducer` walks the segments of each rank
+   in execution order, keeps a list of *stored* representative segments and a
+   list of *segment executions* ``(id, start time)``, and asks a
+   :class:`~repro.core.metrics.base.SimilarityMetric` whether a new segment
+   matches an already-stored one (Section 3.1 of the paper);
+3. :func:`~repro.core.reconstruct.reconstruct` rebuilds an approximate full
+   trace from the reduced representation so the evaluation criteria (error,
+   retention of performance trends) can be applied.
+"""
+
+from repro.core.metrics import (
+    DEFAULT_THRESHOLDS,
+    METRIC_NAMES,
+    THRESHOLD_STUDY,
+    create_metric,
+)
+from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
+from repro.core.reducer import TraceReducer, reduce_trace
+from repro.core.reconstruct import reconstruct
+
+__all__ = [
+    "METRIC_NAMES",
+    "DEFAULT_THRESHOLDS",
+    "THRESHOLD_STUDY",
+    "create_metric",
+    "StoredSegment",
+    "ReducedRankTrace",
+    "ReducedTrace",
+    "TraceReducer",
+    "reduce_trace",
+    "reconstruct",
+]

@@ -1,0 +1,85 @@
+"""Similarity-metric interface.
+
+The reducer performs the structural checks itself (same context, same events
+in the same order, same MPI parameters — the ``compareSegments`` pre-checks of
+the paper) and hands the metric only *structurally identical* candidates.  The
+metric then decides whether the measurements are similar enough for a match.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.reduced import StoredSegment
+from repro.trace.segments import Segment
+
+__all__ = ["SimilarityMetric", "DistanceMetric"]
+
+
+class SimilarityMetric(ABC):
+    """Decides whether a new segment matches one of the stored representatives."""
+
+    #: Paper name of the method (e.g. ``"relDiff"``); set by subclasses.
+    name: str = "abstract"
+
+    #: Threshold value (method specific meaning); ``None`` for iter_avg.
+    threshold: Optional[float] = None
+
+    @abstractmethod
+    def match(self, candidate: Segment, stored: Sequence[StoredSegment]) -> Optional[StoredSegment]:
+        """Return the stored segment the candidate matches, or None.
+
+        ``candidate`` has already been normalised (timestamps relative to the
+        segment start) and every element of ``stored`` has the same structure
+        as the candidate.  Implementations must scan ``stored`` in order and
+        return the *first* match, mirroring the paper's algorithm.
+        """
+
+    def on_match(self, candidate: Segment, chosen: StoredSegment) -> None:
+        """Hook invoked after a successful match (default: count it)."""
+        chosen.count += 1
+
+    def describe(self) -> str:
+        """Human-readable method description, e.g. ``"relDiff(0.8)"``."""
+        if self.threshold is None:
+            return self.name
+        return f"{self.name}({self.threshold:g})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class DistanceMetric(SimilarityMetric):
+    """Base class for threshold-based distance methods.
+
+    Subclasses implement :meth:`similar`, which receives the two segments'
+    timestamp vectors (canonical layout: event start/end pairs followed by the
+    segment end, all relative to the segment start) plus the segments
+    themselves for methods that need a different vector layout.
+    """
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError(f"{self.name} threshold must be non-negative, got {threshold}")
+        self.threshold = float(threshold)
+
+    @abstractmethod
+    def similar(
+        self,
+        new_ts: np.ndarray,
+        stored_ts: np.ndarray,
+        new_segment: Segment,
+        stored_segment: Segment,
+    ) -> bool:
+        """Return True if the two measurement vectors are similar enough."""
+
+    def match(self, candidate: Segment, stored: Sequence[StoredSegment]) -> Optional[StoredSegment]:
+        new_ts = np.asarray(candidate.timestamps(), dtype=float)
+        for entry in stored:
+            stored_ts = entry.timestamps()
+            if self.similar(new_ts, stored_ts, candidate, entry.segment):
+                return entry
+        return None

@@ -1,0 +1,67 @@
+"""Measurement-vector layouts used by the distance methods.
+
+The paper uses two slightly different vector layouts:
+
+* the Minkowski distances compare the vector
+  ``(segment end, e0.start, e0.end, e1.start, e1.end, ...)`` — the worked
+  example in Section 3.2.1 builds ``(49, 1, 17, 18, 48)`` for a segment with
+  two events and a relative end time of 49;
+* the wavelet transforms compare the vector
+  ``(0, e0.start, e0.end, ..., segment end)`` zero-padded to the next power of
+  two (the leading element is the segment's relative start, which is always
+  zero after normalisation).
+
+Both layouts are provided here so the choice can be ablated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.segments import Segment
+
+__all__ = ["pairwise_vector", "minkowski_vector", "wavelet_vector", "next_power_of_two"]
+
+
+def pairwise_vector(segment: Segment) -> np.ndarray:
+    """Canonical timestamp vector: event (start, end) pairs then segment end."""
+    return np.asarray(segment.timestamps(), dtype=float)
+
+
+def minkowski_vector(segment: Segment) -> np.ndarray:
+    """Vector layout used by the Minkowski distances (segment end first)."""
+    values = [segment.end - segment.start if segment.start else segment.end]
+    for event in segment.events:
+        values.append(event.start)
+        values.append(event.end)
+    return np.asarray(values, dtype=float)
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= max(n, 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def wavelet_vector(segment: Segment, *, pad: bool = True) -> np.ndarray:
+    """Vector layout used by the wavelet transforms.
+
+    Leading relative start (always 0 after normalisation), event start/end
+    pairs, segment end; zero-padded to the next power of two when ``pad`` is
+    True (the transforms require a power-of-two length).
+    """
+    values = [0.0]
+    for event in segment.events:
+        values.append(event.start)
+        values.append(event.end)
+    values.append(segment.end - segment.start if segment.start else segment.end)
+    arr = np.asarray(values, dtype=float)
+    if not pad:
+        return arr
+    target = next_power_of_two(arr.size)
+    if target == arr.size:
+        return arr
+    padded = np.zeros(target, dtype=float)
+    padded[: arr.size] = arr
+    return padded

@@ -1,0 +1,95 @@
+"""Reconstruction of an approximate full trace from a reduced trace.
+
+Every entry of the ``segmentExecs`` list is replayed: the referenced stored
+segment's (relative) events are shifted to the recorded start time.  The
+result has exactly the same structure as the original trace (same segments,
+same events, same MPI parameters) but approximated timestamps — which is what
+the approximation-distance and trend-retention criteria quantify.
+
+For the ``iter_k`` method the paper (footnote 1) fills executions beyond the
+k collected copies with the *last* collected segment; the mean of the k
+collected copies is available as an alternative fill-in policy.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
+from repro.trace.segments import Segment
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+__all__ = ["reconstruct", "reconstruct_rank"]
+
+IterKFill = Literal["last", "mean"]
+
+
+def _mean_segment(group: list[StoredSegment]) -> Segment:
+    """Build a synthetic segment holding the mean timestamps of ``group``."""
+    template = group[-1].segment
+    stacked = np.vstack([member.timestamps() for member in group])
+    mean = stacked.mean(axis=0)
+    events = []
+    for i, event in enumerate(template.events):
+        events.append(
+            type(event)(
+                name=event.name,
+                start=float(min(mean[2 * i], mean[2 * i + 1])),
+                end=float(mean[2 * i + 1]),
+                rank=event.rank,
+                mpi=event.mpi,
+            )
+        )
+    return Segment(
+        context=template.context,
+        rank=template.rank,
+        start=0.0,
+        end=float(mean[-1]),
+        events=events,
+        index=template.index,
+    )
+
+
+def reconstruct_rank(
+    reduced: ReducedRankTrace, *, iter_k_fill: IterKFill = "last"
+) -> SegmentedRankTrace:
+    """Reconstruct one rank's approximate segment list."""
+    if iter_k_fill not in ("last", "mean"):
+        raise ValueError(f"iter_k_fill must be 'last' or 'mean', got {iter_k_fill!r}")
+    by_id = reduced.stored_by_id()
+
+    # Pre-compute mean representatives per structural group when requested.
+    mean_by_id: dict[int, Segment] = {}
+    if iter_k_fill == "mean":
+        groups: dict[tuple, list[StoredSegment]] = {}
+        for stored in reduced.stored:
+            groups.setdefault(stored.segment.structure(), []).append(stored)
+        for group in groups.values():
+            mean_by_id[group[-1].segment_id] = _mean_segment(group)
+
+    segments: list[Segment] = []
+    for index, ((segment_id, start), was_match) in enumerate(
+        zip(reduced.execs, reduced.exec_matched)
+    ):
+        stored = by_id.get(segment_id)
+        if stored is None:
+            raise KeyError(
+                f"execution entry references unknown segment id {segment_id} on rank {reduced.rank}"
+            )
+        representative = stored.segment
+        if was_match and iter_k_fill == "mean" and segment_id in mean_by_id:
+            representative = mean_by_id[segment_id]
+        rebuilt = representative.shifted(start).with_rank(reduced.rank)
+        rebuilt.index = index
+        segments.append(rebuilt)
+    return SegmentedRankTrace(rank=reduced.rank, segments=segments)
+
+
+def reconstruct(reduced: ReducedTrace, *, iter_k_fill: IterKFill = "last") -> SegmentedTrace:
+    """Reconstruct the approximate full trace for every rank."""
+    return SegmentedTrace(
+        name=reduced.name,
+        ranks=[reconstruct_rank(rank, iter_k_fill=iter_k_fill) for rank in reduced.ranks],
+    )

@@ -1,0 +1,88 @@
+"""Intra-process trace reduction (Section 3.1 of the paper).
+
+For every rank, segments are processed in execution order.  Each new segment
+is normalised (timestamps relative to its start) and compared against the
+stored representatives that share its *structure* — same context, same events
+in the same order, same message-passing parameters.  The similarity metric
+decides whether the measurements match; on a match only the ``(segment id,
+start time)`` execution entry is recorded, otherwise the segment itself is
+stored as a new representative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.metrics.base import SimilarityMetric
+from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
+from repro.trace.segments import Segment
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+__all__ = ["TraceReducer", "reduce_trace"]
+
+
+class TraceReducer:
+    """Applies one similarity metric to segmented traces.
+
+    A reducer instance is stateless between calls; it can be reused across
+    ranks and traces.
+    """
+
+    def __init__(self, metric: SimilarityMetric):
+        if not isinstance(metric, SimilarityMetric):
+            raise TypeError(
+                f"metric must be a SimilarityMetric, got {type(metric).__name__}"
+            )
+        self.metric = metric
+
+    # -- per-rank reduction ---------------------------------------------------
+
+    def reduce_rank(self, rank_trace: SegmentedRankTrace) -> ReducedRankTrace:
+        """Reduce one rank's segment list."""
+        return self.reduce_segments(rank_trace.segments, rank=rank_trace.rank)
+
+    def reduce_segments(self, segments: Sequence[Segment], *, rank: int = 0) -> ReducedRankTrace:
+        """Reduce an explicit list of segments (used directly by unit tests)."""
+        reduced = ReducedRankTrace(rank=rank)
+        stored_by_key: dict[tuple, list[StoredSegment]] = {}
+        next_id = 0
+
+        for segment in segments:
+            reduced.n_segments += 1
+            relative = segment.relative_to_start()
+            key = relative.structure()
+            candidates = stored_by_key.setdefault(key, [])
+            if candidates:
+                reduced.n_possible_matches += 1
+            chosen = self.metric.match(relative, candidates) if candidates else None
+            if chosen is not None:
+                reduced.n_matches += 1
+                reduced.execs.append((chosen.segment_id, segment.start))
+                reduced.exec_matched.append(True)
+                self.metric.on_match(relative, chosen)
+            else:
+                stored_segment = StoredSegment(segment_id=next_id, segment=relative)
+                next_id += 1
+                candidates.append(stored_segment)
+                reduced.stored.append(stored_segment)
+                reduced.execs.append((stored_segment.segment_id, segment.start))
+                reduced.exec_matched.append(False)
+        return reduced
+
+    # -- whole-trace reduction --------------------------------------------------
+
+    def reduce(self, trace: SegmentedTrace) -> ReducedTrace:
+        """Reduce every rank of ``trace`` independently (intra-process reduction)."""
+        reduced = ReducedTrace(
+            name=trace.name,
+            method=self.metric.name,
+            threshold=self.metric.threshold,
+        )
+        for rank_trace in trace.ranks:
+            reduced.ranks.append(self.reduce_rank(rank_trace))
+        return reduced
+
+
+def reduce_trace(trace: SegmentedTrace, metric: SimilarityMetric) -> ReducedTrace:
+    """Convenience wrapper: ``TraceReducer(metric).reduce(trace)``."""
+    return TraceReducer(metric).reduce(trace)

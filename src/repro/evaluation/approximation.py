@@ -1,0 +1,49 @@
+"""Approximation distance (Section 4.3.3).
+
+The error in a reduced trace is estimated by re-creating a full trace from the
+reduced representation and comparing every timestamp with its counterpart in
+the original: the approximation distance is the absolute difference that 90 %
+of timestamps stay below (the 90th percentile of the absolute errors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.trace import SegmentedTrace
+from repro.util.stats import percentile
+
+__all__ = ["timestamp_errors", "approximation_distance"]
+
+
+def timestamp_errors(original: SegmentedTrace, reconstructed: SegmentedTrace) -> np.ndarray:
+    """Absolute per-timestamp errors between the original and reconstructed trace.
+
+    Both traces must have identical structure (same ranks, segments, events in
+    the same order) — which reconstruction guarantees — so timestamps can be
+    compared element-wise.
+    """
+    if original.nprocs != reconstructed.nprocs:
+        raise ValueError(
+            f"traces have different rank counts ({original.nprocs} vs {reconstructed.nprocs})"
+        )
+    errors: list[np.ndarray] = []
+    for orig_rank, recon_rank in zip(original.ranks, reconstructed.ranks):
+        a = orig_rank.timestamps()
+        b = recon_rank.timestamps()
+        if a.shape != b.shape:
+            raise ValueError(
+                f"rank {orig_rank.rank}: reconstructed trace has {b.size} timestamps, "
+                f"original has {a.size}; traces are not structurally identical"
+            )
+        errors.append(np.abs(a - b))
+    if not errors:
+        return np.asarray([], dtype=float)
+    return np.concatenate(errors)
+
+
+def approximation_distance(
+    original: SegmentedTrace, reconstructed: SegmentedTrace, *, quantile: float = 90.0
+) -> float:
+    """The absolute difference that ``quantile`` % of timestamps stay below (µs)."""
+    return percentile(timestamp_errors(original, reconstructed), quantile)

@@ -1,0 +1,27 @@
+"""Percentage of full trace file size (Section 4.3.1)."""
+
+from __future__ import annotations
+
+from repro.core.reduced import ReducedTrace
+from repro.trace.io import segmented_trace_size_bytes
+from repro.trace.trace import SegmentedTrace
+
+__all__ = ["percent_file_size", "full_trace_bytes"]
+
+
+def full_trace_bytes(full: SegmentedTrace) -> int:
+    """Serialized size of the full trace in bytes."""
+    return segmented_trace_size_bytes(full)
+
+
+def percent_file_size(full: SegmentedTrace, reduced: ReducedTrace) -> float:
+    """Reduced trace size as a percentage of the full trace size.
+
+    Both representations are serialized with the same record format
+    (see :mod:`repro.trace.io`), so the ratio measures what the reduction
+    actually saves, not a formatting artefact.
+    """
+    full_bytes = full_trace_bytes(full)
+    if full_bytes == 0:
+        return 100.0
+    return 100.0 * reduced.size_bytes() / full_bytes

@@ -1,0 +1,19 @@
+"""Degree of matching (Section 4.3.2).
+
+The ratio of the number of matches to the number of *possible* matches.  A
+possible match exists when a segment shares code location, event sequence, and
+message-passing parameters with an already-seen segment; program structure
+(initialisation code, differing message parameters) limits how many possible
+matches exist at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.reduced import ReducedTrace
+
+__all__ = ["degree_of_matching"]
+
+
+def degree_of_matching(reduced: ReducedTrace) -> float:
+    """Matches / possible matches; 1.0 when the program structure allows none."""
+    return reduced.degree_of_matching()

@@ -1,0 +1,157 @@
+"""Study runner: the full evaluation pipeline for one workload.
+
+``evaluate_workload`` simulates a workload once, then applies any number of
+(method, threshold) combinations to the same segmented trace, producing one
+:class:`EvaluationResult` per combination with all four criteria filled in.
+The expensive artefacts (the segmented full trace, its serialized size, and
+its diagnosis report) are computed once and shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.compare import ComparisonOptions, TrendComparison
+from repro.analysis.expert import analyze
+from repro.analysis.report import DiagnosisReport
+from repro.benchmarks_ats.base import Workload
+from repro.core.metrics import create_metric
+from repro.core.metrics.base import SimilarityMetric
+from repro.core.reconstruct import reconstruct
+from repro.core.reduced import ReducedTrace
+from repro.core.reducer import TraceReducer
+from repro.evaluation.approximation import approximation_distance
+from repro.evaluation.filesize import full_trace_bytes
+from repro.evaluation.trends import retains_trends
+from repro.trace.trace import SegmentedTrace
+
+__all__ = ["EvaluationResult", "evaluate_method", "evaluate_workload", "PreparedWorkload"]
+
+
+@dataclass(slots=True)
+class EvaluationResult:
+    """All four criteria for one (workload, method, threshold) combination."""
+
+    workload: str
+    method: str
+    threshold: Optional[float]
+    pct_file_size: float
+    degree_of_matching: float
+    approx_distance_us: float
+    trends_retained: bool
+    full_bytes: int
+    reduced_bytes: int
+    n_segments: int
+    n_stored: int
+    trend_comparison: Optional[TrendComparison] = None
+
+    def as_row(self) -> list:
+        """Row used by the benchmark harness tables."""
+        return [
+            self.workload,
+            self.method,
+            "-" if self.threshold is None else f"{self.threshold:g}",
+            self.pct_file_size,
+            self.degree_of_matching,
+            self.approx_distance_us,
+            self.trends_retained,
+        ]
+
+
+@dataclass(slots=True)
+class PreparedWorkload:
+    """A workload's shared evaluation artefacts (simulate + segment + analyze once)."""
+
+    name: str
+    segmented: SegmentedTrace
+    full_bytes: int
+    full_report: DiagnosisReport
+    workload: Optional[Workload] = None
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "PreparedWorkload":
+        segmented = workload.run_segmented()
+        return cls.from_segmented(workload.name, segmented, workload=workload)
+
+    @classmethod
+    def from_segmented(
+        cls, name: str, segmented: SegmentedTrace, workload: Optional[Workload] = None
+    ) -> "PreparedWorkload":
+        return cls(
+            name=name,
+            segmented=segmented,
+            full_bytes=full_trace_bytes(segmented),
+            full_report=analyze(segmented),
+            workload=workload,
+        )
+
+
+def evaluate_method(
+    prepared: PreparedWorkload,
+    metric: SimilarityMetric,
+    *,
+    comparison_options: Optional[ComparisonOptions] = None,
+    keep_comparison: bool = True,
+) -> EvaluationResult:
+    """Run one similarity metric over a prepared workload."""
+    reduced: ReducedTrace = TraceReducer(metric).reduce(prepared.segmented)
+    reconstructed = reconstruct(reduced)
+    reduced_bytes = reduced.size_bytes()
+    pct = 100.0 * reduced_bytes / prepared.full_bytes if prepared.full_bytes else 100.0
+    distance = approximation_distance(prepared.segmented, reconstructed)
+    comparison = retains_trends(
+        prepared.segmented,
+        reconstructed,
+        full_report=prepared.full_report,
+        options=comparison_options,
+    )
+    return EvaluationResult(
+        workload=prepared.name,
+        method=metric.name,
+        threshold=metric.threshold,
+        pct_file_size=pct,
+        degree_of_matching=reduced.degree_of_matching(),
+        approx_distance_us=distance,
+        trends_retained=comparison.retained,
+        full_bytes=prepared.full_bytes,
+        reduced_bytes=reduced_bytes,
+        n_segments=reduced.n_segments,
+        n_stored=reduced.n_stored,
+        trend_comparison=comparison if keep_comparison else None,
+    )
+
+
+def evaluate_workload(
+    workload: Workload,
+    methods: Iterable[str | SimilarityMetric | tuple[str, float]],
+    *,
+    comparison_options: Optional[ComparisonOptions] = None,
+) -> list[EvaluationResult]:
+    """Evaluate several methods on one workload.
+
+    ``methods`` may contain metric names (paper default thresholds), metric
+    instances, or ``(name, threshold)`` pairs.
+    """
+    prepared = PreparedWorkload.from_workload(workload)
+    results = []
+    for spec in methods:
+        metric = _resolve_metric(spec)
+        results.append(
+            evaluate_method(prepared, metric, comparison_options=comparison_options)
+        )
+    return results
+
+
+def _resolve_metric(spec: str | SimilarityMetric | tuple[str, float]) -> SimilarityMetric:
+    if isinstance(spec, SimilarityMetric):
+        return spec
+    if isinstance(spec, str):
+        return create_metric(spec)
+    if isinstance(spec, tuple) and len(spec) == 2:
+        name, threshold = spec
+        return create_metric(name, threshold)
+    raise TypeError(
+        "method specification must be a metric name, a SimilarityMetric, or a "
+        f"(name, threshold) pair; got {spec!r}"
+    )

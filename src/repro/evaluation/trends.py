@@ -1,0 +1,29 @@
+"""Retention of correct performance trends (Section 4.3.4)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.compare import ComparisonOptions, TrendComparison, compare_diagnoses
+from repro.analysis.expert import analyze
+from repro.analysis.report import DiagnosisReport
+from repro.trace.trace import SegmentedTrace
+
+__all__ = ["retains_trends"]
+
+
+def retains_trends(
+    original: SegmentedTrace,
+    reconstructed: SegmentedTrace,
+    *,
+    full_report: Optional[DiagnosisReport] = None,
+    options: Optional[ComparisonOptions] = None,
+) -> TrendComparison:
+    """Analyze both traces and decide whether the diagnosis is preserved.
+
+    ``full_report`` may be passed in when the full trace's analysis has
+    already been computed (the study runner re-uses it across methods).
+    """
+    full = full_report if full_report is not None else analyze(original)
+    reduced = analyze(reconstructed)
+    return compare_diagnoses(full, reduced, options)

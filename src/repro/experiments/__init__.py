@@ -1,0 +1,53 @@
+"""Experiment definitions: every figure and table of the paper's evaluation.
+
+* :mod:`repro.experiments.config` — workload registry and scaling profiles;
+* :mod:`repro.experiments.comparative` — the comparative study at the paper's
+  default thresholds (Figures 5–8);
+* :mod:`repro.experiments.thresholds` — the threshold study (Figures 9–19);
+* :mod:`repro.experiments.trend_tables` — retention-of-trends tables
+  (Tables 1–18);
+* :mod:`repro.experiments.formatting` — turning results into the text tables
+  printed by the benchmark harness.
+"""
+
+from repro.experiments.config import (
+    ALL_WORKLOAD_NAMES,
+    BENCHMARK_NAMES,
+    SWEEP3D_NAMES,
+    ExperimentScale,
+    build_workload,
+    clear_workload_cache,
+    get_scale,
+    prepared_workload,
+)
+from repro.experiments.comparative import (
+    comparative_study,
+    fig5_size_and_matching,
+    fig6_approximation_distance,
+    fig7_dyn_load_balance_trends,
+    fig8_interference_trends,
+    trend_chart_for_methods,
+)
+from repro.experiments.thresholds import threshold_study, threshold_study_rows
+from repro.experiments.trend_tables import TREND_TABLE_INDEX, trend_table
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "build_workload",
+    "prepared_workload",
+    "clear_workload_cache",
+    "BENCHMARK_NAMES",
+    "SWEEP3D_NAMES",
+    "ALL_WORKLOAD_NAMES",
+    "comparative_study",
+    "fig5_size_and_matching",
+    "fig6_approximation_distance",
+    "fig7_dyn_load_balance_trends",
+    "fig8_interference_trends",
+    "trend_chart_for_methods",
+    "threshold_study",
+    "threshold_study_rows",
+    "trend_table",
+    "TREND_TABLE_INDEX",
+]

@@ -1,0 +1,221 @@
+"""Workload registry and experiment scaling profiles.
+
+The paper's exact runs (8/32 processes, long traces, a full Sweep3D problem)
+would take a while to regenerate on every benchmark invocation, so every
+experiment accepts an :class:`ExperimentScale`:
+
+* ``paper``   — the paper's process counts and iteration counts;
+* ``default`` — the same programs at reduced iteration counts / grid sizes
+  (what the benchmark harness uses);
+* ``smoke``   — tiny runs for unit tests.
+
+The scale changes how *much* trace is generated, never the structure of the
+programs, so the qualitative comparisons between methods are unaffected.
+Select a scale globally through the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.benchmarks_ats import (
+    INTERFERENCE_PATTERNS,
+    Workload,
+    dyn_load_balance,
+    early_gather,
+    imbalance_at_mpi_barrier,
+    interference,
+    late_broadcast,
+    late_receiver,
+    late_sender,
+)
+from repro.evaluation.runner import PreparedWorkload
+from repro.sweep3d import sweep3d_32p, sweep3d_8p
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "BENCHMARK_NAMES",
+    "REGULAR_BENCHMARK_NAMES",
+    "INTERFERENCE_BENCHMARK_NAMES",
+    "SWEEP3D_NAMES",
+    "ALL_WORKLOAD_NAMES",
+    "build_workload",
+    "prepared_workload",
+    "clear_workload_cache",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentScale:
+    """How much trace to generate for each workload family."""
+
+    name: str
+    benchmark_nprocs: int
+    benchmark_iterations: int
+    interference_nprocs: int
+    interference_iterations: int
+    sweep3d_8p_scale: float
+    sweep3d_8p_timesteps: int
+    sweep3d_32p_scale: float
+    sweep3d_32p_timesteps: int
+    seed: int = 0
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        benchmark_nprocs=4,
+        benchmark_iterations=8,
+        interference_nprocs=4,
+        interference_iterations=10,
+        sweep3d_8p_scale=0.2,
+        sweep3d_8p_timesteps=2,
+        sweep3d_32p_scale=0.1,
+        sweep3d_32p_timesteps=1,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        benchmark_nprocs=8,
+        benchmark_iterations=60,
+        interference_nprocs=16,
+        interference_iterations=60,
+        sweep3d_8p_scale=0.5,
+        sweep3d_8p_timesteps=4,
+        sweep3d_32p_scale=0.25,
+        sweep3d_32p_timesteps=3,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        benchmark_nprocs=8,
+        benchmark_iterations=100,
+        interference_nprocs=32,
+        interference_iterations=100,
+        sweep3d_8p_scale=1.0,
+        sweep3d_8p_timesteps=6,
+        sweep3d_32p_scale=1.0,
+        sweep3d_32p_timesteps=4,
+    ),
+}
+
+
+def get_scale(name: Optional[str] = None) -> ExperimentScale:
+    """Return a scale profile by name.
+
+    When ``name`` is None the ``REPRO_SCALE`` environment variable is
+    consulted, falling back to ``"default"``.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    if name not in SCALES:
+        raise ValueError(f"unknown scale {name!r}; expected one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+REGULAR_BENCHMARK_NAMES: tuple[str, ...] = (
+    "late_sender",
+    "late_receiver",
+    "early_gather",
+    "late_broadcast",
+    "imbalance_at_mpi_barrier",
+)
+
+INTERFERENCE_BENCHMARK_NAMES: tuple[str, ...] = tuple(
+    f"{pattern}_{simulated}"
+    for simulated in (32, 1024)
+    for pattern in INTERFERENCE_PATTERNS
+)
+
+#: The 16 benchmark programs of the paper (everything except Sweep3D).
+BENCHMARK_NAMES: tuple[str, ...] = (
+    "dyn_load_balance",
+    *REGULAR_BENCHMARK_NAMES,
+    *INTERFERENCE_BENCHMARK_NAMES,
+)
+
+SWEEP3D_NAMES: tuple[str, ...] = ("sweep3d_8p", "sweep3d_32p")
+
+ALL_WORKLOAD_NAMES: tuple[str, ...] = (*BENCHMARK_NAMES, *SWEEP3D_NAMES)
+
+
+def _regular_factory(fn: Callable[..., Workload]) -> Callable[[ExperimentScale], Workload]:
+    def build(scale: ExperimentScale) -> Workload:
+        return fn(
+            nprocs=scale.benchmark_nprocs,
+            iterations=scale.benchmark_iterations,
+            seed=scale.seed,
+        )
+
+    return build
+
+
+def _interference_factory(pattern: str, simulated: int) -> Callable[[ExperimentScale], Workload]:
+    def build(scale: ExperimentScale) -> Workload:
+        return interference(
+            pattern,
+            simulated,
+            nprocs=scale.interference_nprocs,
+            iterations=scale.interference_iterations,
+            seed=scale.seed,
+        )
+
+    return build
+
+
+_FACTORIES: dict[str, Callable[[ExperimentScale], Workload]] = {
+    "dyn_load_balance": lambda scale: dyn_load_balance(
+        nprocs=scale.benchmark_nprocs,
+        iterations=scale.benchmark_iterations,
+        seed=scale.seed,
+    ),
+    "late_sender": _regular_factory(late_sender),
+    "late_receiver": _regular_factory(late_receiver),
+    "early_gather": _regular_factory(early_gather),
+    "late_broadcast": _regular_factory(late_broadcast),
+    "imbalance_at_mpi_barrier": _regular_factory(imbalance_at_mpi_barrier),
+    "sweep3d_8p": lambda scale: sweep3d_8p(
+        scale=scale.sweep3d_8p_scale,
+        timesteps=scale.sweep3d_8p_timesteps,
+        seed=scale.seed,
+    ),
+    "sweep3d_32p": lambda scale: sweep3d_32p(
+        scale=scale.sweep3d_32p_scale,
+        timesteps=scale.sweep3d_32p_timesteps,
+        seed=scale.seed,
+    ),
+}
+for _pattern in INTERFERENCE_PATTERNS:
+    for _simulated in (32, 1024):
+        _FACTORIES[f"{_pattern}_{_simulated}"] = _interference_factory(_pattern, _simulated)
+
+
+def build_workload(name: str, scale: ExperimentScale | str | None = None) -> Workload:
+    """Build one of the paper's workloads at the given scale."""
+    if isinstance(scale, str) or scale is None:
+        scale = get_scale(scale)
+    if name not in _FACTORIES:
+        raise ValueError(f"unknown workload {name!r}; expected one of {ALL_WORKLOAD_NAMES}")
+    return _FACTORIES[name](scale)
+
+
+# Prepared workloads (simulated, segmented, analyzed) are cached per
+# (workload, scale) because every figure and table re-uses the same full trace.
+_PREPARED_CACHE: dict[tuple[str, str], PreparedWorkload] = {}
+
+
+def prepared_workload(name: str, scale: ExperimentScale | str | None = None) -> PreparedWorkload:
+    """Return (and cache) the shared evaluation artefacts for one workload."""
+    if isinstance(scale, str) or scale is None:
+        scale = get_scale(scale)
+    key = (name, scale.name)
+    if key not in _PREPARED_CACHE:
+        _PREPARED_CACHE[key] = PreparedWorkload.from_workload(build_workload(name, scale))
+    return _PREPARED_CACHE[key]
+
+
+def clear_workload_cache() -> None:
+    """Drop all cached prepared workloads (mainly for tests)."""
+    _PREPARED_CACHE.clear()

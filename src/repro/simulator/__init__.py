@@ -1,0 +1,44 @@
+"""Discrete-event MPI simulator.
+
+This subpackage replaces the paper's physical Linux cluster: SPMD rank
+programs written against a small MPI-like operation set are executed on a
+virtual machine model with correct blocking semantics (late senders make
+receivers wait, collectives wait for the last arrival, ...), and a tracer
+records the same time-stamped function entry/exit records plus segment
+markers that the paper's Dyninst-based instrumentation produced.
+"""
+
+from repro.simulator.machine import MachineModel
+from repro.simulator.noise import NoiseModel, NoiseSource, NullNoise, PeriodicNoise, asci_q_noise
+from repro.simulator.program import (
+    Compute,
+    MpiOp,
+    Op,
+    Program,
+    RankProgramBuilder,
+    SegmentBegin,
+    SegmentEnd,
+    build_program,
+)
+from repro.simulator.engine import DeadlockError, SimulationEngine, SimulatorConfig, simulate
+
+__all__ = [
+    "MachineModel",
+    "NoiseModel",
+    "NoiseSource",
+    "NullNoise",
+    "PeriodicNoise",
+    "asci_q_noise",
+    "Op",
+    "Compute",
+    "MpiOp",
+    "SegmentBegin",
+    "SegmentEnd",
+    "Program",
+    "RankProgramBuilder",
+    "build_program",
+    "SimulationEngine",
+    "SimulatorConfig",
+    "DeadlockError",
+    "simulate",
+]

@@ -1,0 +1,158 @@
+"""System-interference (noise) models.
+
+The irregular benchmarks of the paper simulate the ASCI Q system interference
+identified by Petrini et al. (SC'03): operating-system daemons and kernel
+activity periodically steal CPU time from application processes, so a small
+fraction of iterations take noticeably longer even though the application
+load is perfectly balanced.
+
+Here the noise is a set of periodic interrupt sources per rank; when a compute
+region of duration ``d`` starts at time ``t`` on a rank, every interrupt that
+fires inside ``[t, t + d)`` adds its duration to the region.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.rng import rng_for
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["NoiseSource", "NoiseModel", "NullNoise", "PeriodicNoise", "asci_q_noise"]
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseSource:
+    """One periodic interrupt source (a "daemon").
+
+    Attributes
+    ----------
+    period:
+        µs between interrupt firings.
+    duration:
+        µs stolen per firing.
+    phase:
+        Offset of the first firing in µs.
+    """
+
+    period: float
+    duration: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        check_non_negative("duration", self.duration)
+        check_non_negative("phase", self.phase)
+
+    def firings_in(self, start: float, end: float) -> int:
+        """Number of firings with fire time in ``[start, end)``."""
+        if end <= start:
+            return 0
+        # Fire times are phase + k*period for k >= 0.
+        first_k = math.ceil((start - self.phase) / self.period)
+        first_k = max(first_k, 0)
+        last_k = math.ceil((end - self.phase) / self.period) - 1
+        if (end - self.phase) / self.period == math.floor((end - self.phase) / self.period):
+            # end is exactly a fire time; interval is half-open so exclude it.
+            last_k = int((end - self.phase) / self.period) - 1
+        return max(0, last_k - first_k + 1)
+
+
+class NoiseModel(ABC):
+    """Interface for compute-time perturbation models."""
+
+    @abstractmethod
+    def extra_delay(self, rank: int, start: float, duration: float) -> float:
+        """Extra µs added to a compute region of ``duration`` starting at ``start``."""
+
+
+class NullNoise(NoiseModel):
+    """No interference (the regular benchmarks and Sweep3D runs)."""
+
+    def extra_delay(self, rank: int, start: float, duration: float) -> float:
+        return 0.0
+
+
+class PeriodicNoise(NoiseModel):
+    """Per-rank periodic interrupt sources.
+
+    Parameters
+    ----------
+    sources_by_rank:
+        For each rank, the list of interrupt sources affecting it.
+    """
+
+    def __init__(self, sources_by_rank: Sequence[Sequence[NoiseSource]]):
+        self._sources: list[tuple[NoiseSource, ...]] = [tuple(s) for s in sources_by_rank]
+
+    @property
+    def nprocs(self) -> int:
+        return len(self._sources)
+
+    def sources_for(self, rank: int) -> tuple[NoiseSource, ...]:
+        return self._sources[rank]
+
+    def extra_delay(self, rank: int, start: float, duration: float) -> float:
+        if rank >= len(self._sources):
+            raise IndexError(f"no noise sources configured for rank {rank}")
+        if duration <= 0:
+            return 0.0
+        extra = 0.0
+        for source in self._sources[rank]:
+            extra += source.firings_in(start, start + duration) * source.duration
+        return extra
+
+
+#: Interrupt sources modelled per node, as (period µs, duration µs) pairs.
+#: Loosely patterned after the Petrini et al. characterisation: frequent short
+#: kernel/timer activity, periodic daemons, and rare long cluster-management
+#: events.  Durations are chosen relative to the ~1000 µs work quanta of the
+#: interference benchmarks so that a minority of iterations is visibly
+#: disturbed.
+_ASCI_Q_SOURCES: tuple[tuple[float, float], ...] = (
+    (23_000.0, 250.0),     # fine-grain kernel activity
+    (101_000.0, 1_500.0),  # node-local daemons
+    (407_000.0, 6_000.0),  # cluster management heartbeat
+)
+
+
+def asci_q_noise(nprocs: int, simulated_procs: int, seed: int = 0) -> PeriodicNoise:
+    """Build the interference model used by the irregular benchmarks.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks actually simulated (the paper uses 32).
+    simulated_procs:
+        Number of processes whose aggregate interference is simulated (32 or
+        1024 in the paper).  A larger machine has proportionally more noise
+        sources competing for the synchronising collectives, which we model by
+        scaling interrupt durations with ``log2`` of the process ratio — the
+        effect Petrini et al. observed is that noise costs grow with the
+        probability that *some* rank is hit, which grows roughly
+        logarithmically for periodic sources.
+    seed:
+        Seed for the per-rank phases.
+    """
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    if simulated_procs < nprocs:
+        raise ValueError(
+            f"simulated_procs ({simulated_procs}) must be >= nprocs ({nprocs})"
+        )
+    ratio = simulated_procs / nprocs
+    scale = 1.0 + math.log2(ratio) if ratio > 1 else 1.0
+    sources_by_rank: list[list[NoiseSource]] = []
+    for rank in range(nprocs):
+        rng = rng_for(seed, "asci_q_noise", rank, simulated_procs)
+        rank_sources = []
+        for period, duration in _ASCI_Q_SOURCES:
+            phase = float(rng.uniform(0.0, period))
+            rank_sources.append(
+                NoiseSource(period=period, duration=duration * scale, phase=phase)
+            )
+        sources_by_rank.append(rank_sources)
+    return PeriodicNoise(sources_by_rank)

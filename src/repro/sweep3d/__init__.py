@@ -1,0 +1,14 @@
+"""Sweep3D application model.
+
+The paper's full application is Sweep3D 2.2b, a structured-mesh discrete
+ordinates neutron transport code whose dominant pattern is a pipelined
+wavefront sweep over a 2-D processor decomposition.  This subpackage builds a
+program with exactly that structure: for every timestep and every one of the
+eight octants, each rank receives boundary data from its upstream neighbours,
+computes over a block of k-planes, and sends boundary data downstream, with a
+global flux-error reduction closing every timestep.
+"""
+
+from repro.sweep3d.model import Sweep3DParams, sweep3d, sweep3d_32p, sweep3d_8p
+
+__all__ = ["Sweep3DParams", "sweep3d", "sweep3d_8p", "sweep3d_32p"]

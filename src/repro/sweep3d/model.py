@@ -1,0 +1,214 @@
+"""Wavefront-sweep program generator (Sweep3D analogue).
+
+The generator reproduces the structural properties of Sweep3D that matter for
+trace reduction (Section 5.2.1 of the paper):
+
+* many distinct segment contexts (init, per-k-block inner loop, per-timestep
+  flux reduction, final);
+* point-to-point messages whose *parameters* (peer, tag, size) differ between
+  ranks and octants, limiting how many segments are even possible matches;
+* highly regular timing overall, so the possible matches that do exist are
+  very similar.
+
+Timing is pipelined: a rank cannot start a block before its upstream
+neighbours have sent their boundary data, so interior ranks show the classic
+wavefront fill/drain waits in ``pmpi_recv``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.benchmarks_ats.base import Workload, jittered
+from repro.simulator.engine import SimulatorConfig
+from repro.simulator.program import RankProgramBuilder, build_program
+from repro.util.rng import rng_for
+from repro.util.validation import check_positive
+
+__all__ = ["Sweep3DParams", "sweep3d", "sweep3d_8p", "sweep3d_32p"]
+
+
+@dataclass(frozen=True, slots=True)
+class Sweep3DParams:
+    """Problem and decomposition parameters.
+
+    Attributes
+    ----------
+    nx, ny, nz:
+        Global grid dimensions (cells).
+    px, py:
+        Processor decomposition in i and j (``px * py`` ranks).
+    mk:
+        k-plane block size of the pipelined sweep.
+    timesteps:
+        Number of outer iterations.
+    cost_per_cell:
+        Compute cost per cell per sweep block, in µs.
+    bytes_per_face_cell:
+        Message payload per boundary cell, in bytes.
+    jitter:
+        Relative jitter of compute durations.
+    """
+
+    nx: int = 50
+    ny: int = 50
+    nz: int = 50
+    px: int = 2
+    py: int = 4
+    mk: int = 10
+    timesteps: int = 6
+    cost_per_cell: float = 0.02
+    bytes_per_face_cell: int = 8
+    jitter: float = 0.01
+
+    def __post_init__(self) -> None:
+        for field_name in ("nx", "ny", "nz", "px", "py", "mk", "timesteps"):
+            check_positive(field_name, getattr(self, field_name))
+        check_positive("cost_per_cell", self.cost_per_cell)
+        check_positive("bytes_per_face_cell", self.bytes_per_face_cell)
+        if self.mk > self.nz:
+            raise ValueError(f"mk ({self.mk}) cannot exceed nz ({self.nz})")
+
+    @property
+    def nprocs(self) -> int:
+        return self.px * self.py
+
+    @property
+    def it(self) -> int:
+        """Local i extent (ceiling division, like Sweep3D's block distribution)."""
+        return math.ceil(self.nx / self.px)
+
+    @property
+    def jt(self) -> int:
+        """Local j extent."""
+        return math.ceil(self.ny / self.py)
+
+    @property
+    def kb(self) -> int:
+        """Number of k-plane blocks per octant sweep."""
+        return math.ceil(self.nz / self.mk)
+
+
+#: The eight octants as (i direction, j direction, k direction) sweep signs.
+_OCTANTS: tuple[tuple[int, int, int], ...] = (
+    (+1, +1, +1),
+    (-1, +1, +1),
+    (+1, -1, +1),
+    (-1, -1, +1),
+    (+1, +1, -1),
+    (-1, +1, -1),
+    (+1, -1, -1),
+    (-1, -1, -1),
+)
+
+
+def _coords(rank: int, params: Sweep3DParams) -> tuple[int, int]:
+    return rank % params.px, rank // params.px
+
+
+def _rank_at(i: int, j: int, params: Sweep3DParams) -> int | None:
+    if 0 <= i < params.px and 0 <= j < params.py:
+        return j * params.px + i
+    return None
+
+
+def sweep3d(params: Sweep3DParams | None = None, *, name: str | None = None, seed: int = 0) -> Workload:
+    """Build a Sweep3D-like workload from ``params``."""
+    params = params or Sweep3DParams()
+    nprocs = params.nprocs
+    workload_name = name or f"sweep3d_{nprocs}p"
+
+    def body(b: RankProgramBuilder, rank: int) -> None:
+        rng = rng_for(seed, "sweep3d", workload_name, rank)
+        i, j = _coords(rank, params)
+        cells_per_block = params.it * params.jt * params.mk
+        block_cost = cells_per_block * params.cost_per_cell
+        i_face_bytes = params.jt * params.mk * params.bytes_per_face_cell
+        j_face_bytes = params.it * params.mk * params.bytes_per_face_cell
+
+        with b.segment("init"):
+            b.mpi_init()
+            b.compute("decomp", jittered(rng, 50.0, params.jitter))
+
+        # Outer timestep loop.  It contains inner loops, so (per the paper's
+        # marking scheme) the timestep itself is not one segment; instead the
+        # per-timestep source computation, every k-block of the octant sweeps,
+        # and the closing flux-error reduction are each their own segment.
+        for _timestep in range(params.timesteps):
+            with b.segment("sweep.1"):
+                b.compute("source", jittered(rng, 0.1 * block_cost, params.jitter))
+            for octant_index, (di, dj, _dk) in enumerate(_OCTANTS):
+                upstream_i = _rank_at(i - di, j, params)
+                upstream_j = _rank_at(i, j - dj, params)
+                downstream_i = _rank_at(i + di, j, params)
+                downstream_j = _rank_at(i, j + dj, params)
+                for _block in range(params.kb):
+                    b.begin_segment("sweep.1.1")
+                    if upstream_i is not None:
+                        b.recv(upstream_i, tag=octant_index, nbytes=i_face_bytes, name="pmpi_recv")
+                    if upstream_j is not None:
+                        b.recv(upstream_j, tag=8 + octant_index, nbytes=j_face_bytes, name="pmpi_recv")
+                    b.compute("sweep_", jittered(rng, block_cost, params.jitter))
+                    if downstream_i is not None:
+                        b.send(downstream_i, tag=octant_index, nbytes=i_face_bytes, name="pmpi_send")
+                    if downstream_j is not None:
+                        b.send(downstream_j, tag=8 + octant_index, nbytes=j_face_bytes, name="pmpi_send")
+                    b.end_segment("sweep.1.1")
+            # Per-timestep global flux-error check.
+            with b.segment("sweep.1.2"):
+                b.compute("flux_err", jittered(rng, 0.2 * block_cost, params.jitter))
+                b.allreduce(nbytes=8, name="MPI_Allreduce")
+
+        with b.segment("final"):
+            b.mpi_finalize()
+
+    return Workload(
+        name=workload_name,
+        program=build_program(workload_name, nprocs, body),
+        config=SimulatorConfig(seed=seed),
+        description=(
+            f"pipelined wavefront sweep on a {params.px}x{params.py} decomposition of a "
+            f"{params.nx}x{params.ny}x{params.nz} grid, {params.timesteps} timesteps"
+        ),
+        expected_metric="Late Sender",
+        expected_location="pmpi_recv",
+    )
+
+
+def sweep3d_8p(*, scale: float = 1.0, timesteps: int | None = None, seed: int = 0) -> Workload:
+    """The paper's 8-process run (input.50, 2×4 decomposition), optionally scaled.
+
+    ``scale`` shrinks the grid linearly (0.4 → a 20³ grid) so the workload can
+    be generated quickly; the decomposition and loop structure are unchanged.
+    """
+    check_positive("scale", scale)
+    nx = max(10, int(round(50 * scale)))
+    nz = max(10, int(round(50 * scale)))
+    params = Sweep3DParams(
+        nx=nx,
+        ny=nx,
+        nz=nz,
+        px=2,
+        py=4,
+        mk=max(2, nz // 5),
+        timesteps=timesteps if timesteps is not None else 6,
+    )
+    return sweep3d(params, name="sweep3d_8p", seed=seed)
+
+
+def sweep3d_32p(*, scale: float = 1.0, timesteps: int | None = None, seed: int = 0) -> Workload:
+    """The paper's 32-process run (input.150, 4×8 decomposition), optionally scaled."""
+    check_positive("scale", scale)
+    nx = max(12, int(round(150 * scale)))
+    nz = max(12, int(round(150 * scale)))
+    params = Sweep3DParams(
+        nx=nx,
+        ny=nx,
+        nz=nz,
+        px=4,
+        py=8,
+        mk=max(2, nz // 8),
+        timesteps=timesteps if timesteps is not None else 4,
+    )
+    return sweep3d(params, name="sweep3d_32p", seed=seed)

@@ -1,0 +1,127 @@
+"""Events and MPI call metadata.
+
+An :class:`Event` is one executed function occurrence (compute region or MPI
+call) with start/end timestamps in microseconds.  MPI calls additionally carry
+an immutable :class:`MpiCallInfo` describing the operation and its parameters;
+the paper requires "all message passing calls and parameters [to be] the same"
+for two segments to be a *possible* match, so the call info participates in
+the structural key used by the reducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["MpiCallInfo", "Event", "COLLECTIVE_OPS", "P2P_OPS", "ALL_OPS"]
+
+
+#: Collective operations (matched across ranks by collective-call sequence number).
+COLLECTIVE_OPS = frozenset(
+    {
+        "barrier",
+        "bcast",
+        "scatter",
+        "gather",
+        "reduce",
+        "allgather",
+        "allreduce",
+        "alltoall",
+    }
+)
+
+#: Point-to-point operations (matched by (source, destination, tag) FIFO order).
+P2P_OPS = frozenset({"send", "ssend", "recv", "sendrecv"})
+
+ALL_OPS = COLLECTIVE_OPS | P2P_OPS
+
+
+@dataclass(frozen=True, slots=True)
+class MpiCallInfo:
+    """Parameters of one MPI call, as recorded in the trace.
+
+    Attributes
+    ----------
+    op:
+        Operation kind, one of :data:`ALL_OPS`.
+    root:
+        Root rank for rooted collectives (bcast/scatter/gather/reduce), else None.
+    peer:
+        Destination rank for sends (and for the send half of sendrecv),
+        source rank for receives; None for collectives.
+    source:
+        Source rank of the receive half of a sendrecv (None elsewhere).
+    tag:
+        Message tag for point-to-point operations, else None.
+    nbytes:
+        Payload size in bytes (0 for barrier).
+    comm:
+        Communicator name (always "world" in this library, kept for fidelity
+        with real traces where sub-communicators occur).
+    """
+
+    op: str
+    root: Optional[int] = None
+    peer: Optional[int] = None
+    source: Optional[int] = None
+    tag: Optional[int] = None
+    nbytes: int = 0
+    comm: str = "world"
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise ValueError(f"unknown MPI operation {self.op!r}; expected one of {sorted(ALL_OPS)}")
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+
+    @property
+    def is_collective(self) -> bool:
+        return self.op in COLLECTIVE_OPS
+
+    @property
+    def is_p2p(self) -> bool:
+        return self.op in P2P_OPS
+
+    def key(self) -> tuple:
+        """Hashable parameter tuple used in structural segment keys."""
+        return (self.op, self.root, self.peer, self.source, self.tag, self.nbytes, self.comm)
+
+
+@dataclass(slots=True)
+class Event:
+    """One executed function occurrence.
+
+    ``start`` and ``end`` are absolute microsecond timestamps in a full trace
+    and segment-relative timestamps inside a stored (reduced) segment.
+    """
+
+    name: str
+    start: float
+    end: float
+    rank: int = 0
+    mpi: Optional[MpiCallInfo] = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"event {self.name!r} has end ({self.end}) before start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_mpi(self) -> bool:
+        return self.mpi is not None
+
+    def structure(self) -> tuple:
+        """Structural identity: name plus MPI parameters (no timestamps)."""
+        return (self.name, self.mpi.key() if self.mpi is not None else None)
+
+    def shifted(self, offset: float) -> "Event":
+        """Return a copy with both timestamps shifted by ``offset``."""
+        return replace(self, start=self.start + offset, end=self.end + offset)
+
+    def timestamps(self) -> tuple[float, float]:
+        return (self.start, self.end)

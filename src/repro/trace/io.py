@@ -1,0 +1,226 @@
+"""Trace serialization and file-size accounting.
+
+The paper's first evaluation criterion is the reduced trace file size as a
+percentage of the full trace file size.  To make that comparison meaningful we
+serialize both representations with the same record format:
+
+* a **full trace** is one line per raw record
+  (``ENTER <rank> <t> <name> [mpi params]``);
+* a **reduced trace** is one line per stored-segment header, one line per
+  stored event (with segment-relative timestamps), and one line per segment
+  execution entry (``EXEC <segment id> <start time>``) — exactly the
+  ``storedSegments`` + ``segmentExecs`` representation of Section 3.1.
+
+Timestamps are written with microsecond precision (two decimals), so the byte
+cost of a timestamp is comparable in both representations.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.trace.events import Event, MpiCallInfo
+from repro.trace.records import RecordKind, TraceRecord
+from repro.trace.segments import Segment
+from repro.trace.trace import SegmentedTrace, Trace
+
+__all__ = [
+    "format_record",
+    "parse_record",
+    "serialize_records",
+    "serialize_segment",
+    "serialize_exec_entry",
+    "trace_size_bytes",
+    "segmented_trace_size_bytes",
+    "reduced_trace_size_bytes",
+    "write_trace",
+    "read_trace",
+]
+
+_TS_FMT = "{:.2f}"
+
+
+def _format_mpi(mpi: MpiCallInfo | None) -> str:
+    if mpi is None:
+        return ""
+    parts = [mpi.op]
+    for label, value in (("root", mpi.root), ("peer", mpi.peer), ("src", mpi.source), ("tag", mpi.tag)):
+        if value is not None:
+            parts.append(f"{label}={value}")
+    if mpi.nbytes:
+        parts.append(f"bytes={mpi.nbytes}")
+    if mpi.comm != "world":
+        parts.append(f"comm={mpi.comm}")
+    return " " + " ".join(parts)
+
+
+def _parse_mpi(tokens: Sequence[str]) -> MpiCallInfo:
+    op = tokens[0]
+    kwargs: dict = {}
+    for token in tokens[1:]:
+        key, _, value = token.partition("=")
+        if key == "root":
+            kwargs["root"] = int(value)
+        elif key == "peer":
+            kwargs["peer"] = int(value)
+        elif key == "src":
+            kwargs["source"] = int(value)
+        elif key == "tag":
+            kwargs["tag"] = int(value)
+        elif key == "bytes":
+            kwargs["nbytes"] = int(value)
+        elif key == "comm":
+            kwargs["comm"] = value
+        else:
+            raise ValueError(f"unknown MPI attribute {token!r}")
+    return MpiCallInfo(op=op, **kwargs)
+
+
+def format_record(record: TraceRecord) -> str:
+    """Format one record as a single trace-file line (no newline)."""
+    ts = _TS_FMT.format(record.timestamp)
+    return f"{record.kind.name} {record.rank} {ts} {record.name}{_format_mpi(record.mpi)}"
+
+
+def parse_record(line: str) -> TraceRecord:
+    """Parse a line produced by :func:`format_record`."""
+    tokens = line.split()
+    if len(tokens) < 4:
+        raise ValueError(f"malformed trace record line: {line!r}")
+    kind = RecordKind[tokens[0]]
+    rank = int(tokens[1])
+    timestamp = float(tokens[2])
+    name = tokens[3]
+    mpi = _parse_mpi(tokens[4:]) if len(tokens) > 4 else None
+    return TraceRecord(kind=kind, rank=rank, timestamp=timestamp, name=name, mpi=mpi)
+
+
+def serialize_records(records: Iterable[TraceRecord]) -> bytes:
+    """Serialize a record stream to bytes (one line per record)."""
+    buf = _io.StringIO()
+    for record in records:
+        buf.write(format_record(record))
+        buf.write("\n")
+    return buf.getvalue().encode("utf-8")
+
+
+def serialize_segment(segment: Segment, segment_id: int | None = None) -> bytes:
+    """Serialize one stored segment (header + one line per event).
+
+    Timestamps are expected to be segment-relative (the reducer normalises
+    them); absolute segments serialize fine too, the size is what matters.
+    """
+    sid = segment.index if segment_id is None else segment_id
+    lines = [
+        f"SEG {sid} {segment.context} {_TS_FMT.format(segment.end - segment.start)}"
+    ]
+    for event in segment.events:
+        lines.append(
+            f"EV {event.name} {_TS_FMT.format(event.start)} {_TS_FMT.format(event.end)}"
+            f"{_format_mpi(event.mpi)}"
+        )
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def serialize_exec_entry(segment_id: int, start: float) -> bytes:
+    """Serialize one segment-execution entry of the ``segmentExecs`` list."""
+    return f"EXEC {segment_id} {_TS_FMT.format(start)}\n".encode("utf-8")
+
+
+def trace_size_bytes(trace: Trace) -> int:
+    """Size in bytes of the full (raw-record) trace serialization."""
+    return sum(len(serialize_records(rank.records)) for rank in trace.ranks)
+
+
+def segmented_trace_size_bytes(trace: SegmentedTrace) -> int:
+    """Size in bytes of a segmented full trace, serialized as records.
+
+    A segmented trace serializes to the same information as the raw trace it
+    came from (segment markers + event enter/exit), so this is the "full
+    trace" baseline when only the segmented form is available (e.g. for a
+    reconstructed trace).
+    """
+    total = 0
+    for rank_trace in trace.ranks:
+        for segment in rank_trace.segments:
+            total += len(serialize_segment_as_records(segment))
+    return total
+
+
+def serialize_segment_as_records(segment: Segment) -> bytes:
+    """Serialize one segment in the full-trace (record per line) format."""
+    lines = [
+        f"{RecordKind.SEGMENT_BEGIN.name} {segment.rank} "
+        f"{_TS_FMT.format(segment.start)} {segment.context}"
+    ]
+    for event in segment.events:
+        lines.append(
+            f"{RecordKind.ENTER.name} {segment.rank} {_TS_FMT.format(event.start)} "
+            f"{event.name}{_format_mpi(event.mpi)}"
+        )
+        lines.append(
+            f"{RecordKind.EXIT.name} {segment.rank} {_TS_FMT.format(event.end)} {event.name}"
+        )
+    lines.append(
+        f"{RecordKind.SEGMENT_END.name} {segment.rank} "
+        f"{_TS_FMT.format(segment.end)} {segment.context}"
+    )
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def reduced_trace_size_bytes(
+    stored_segments: Iterable[tuple[int, Segment]],
+    execs: Iterable[tuple[int, float]],
+) -> int:
+    """Size in bytes of a reduced rank trace.
+
+    Parameters
+    ----------
+    stored_segments:
+        ``(segment id, stored segment)`` pairs.
+    execs:
+        ``(segment id, start time)`` execution entries.
+    """
+    total = 0
+    for sid, segment in stored_segments:
+        total += len(serialize_segment(segment, segment_id=sid))
+    for sid, start in execs:
+        total += len(serialize_exec_entry(sid, start))
+    return total
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Write a raw trace to ``path`` (one file, ranks concatenated in order)."""
+    path = Path(path)
+    with path.open("wb") as handle:
+        for rank_trace in trace.ranks:
+            handle.write(serialize_records(rank_trace.records))
+
+
+def read_trace(path: str | Path, name: str | None = None) -> Trace:
+    """Read a trace written by :func:`write_trace`.
+
+    Ranks are reconstructed from the per-record rank field; ranks must be a
+    contiguous range starting at zero.
+    """
+    path = Path(path)
+    per_rank: dict[int, list[TraceRecord]] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = parse_record(line)
+            per_rank.setdefault(record.rank, []).append(record)
+    if not per_rank:
+        return Trace(name=name or path.stem, ranks=[])
+    nprocs = max(per_rank) + 1
+    missing = [r for r in range(nprocs) if r not in per_rank]
+    if missing:
+        raise ValueError(f"trace file {path} is missing ranks {missing}")
+    from repro.trace.trace import RankTrace  # local import to avoid cycle at module load
+
+    ranks = [RankTrace(rank=r, records=per_rank[r]) for r in range(nprocs)]
+    return Trace(name=name or path.stem, ranks=ranks)

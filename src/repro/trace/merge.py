@@ -1,0 +1,48 @@
+"""Merging per-rank record streams into a single, time-ordered stream.
+
+The paper collects per-task traces separately and merges them into a single
+application trace for analysis.  Intra-process reduction happens *before* the
+merge; this module exists so the full pipeline (collect per rank → reduce per
+rank → merge → analyze) can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.trace.records import TraceRecord
+from repro.trace.trace import Trace
+
+__all__ = ["merge_records", "merge_trace"]
+
+
+def merge_records(streams: Sequence[Sequence[TraceRecord]]) -> list[TraceRecord]:
+    """Merge per-rank record streams into one stream ordered by timestamp.
+
+    Each input stream must already be sorted by timestamp (rank-local clocks
+    are monotonic, so tracer output always is).  Ties are broken by rank and
+    then by original position, which keeps the merge deterministic.
+    """
+    def keyed(stream_index: int, stream: Sequence[TraceRecord]):
+        for position, record in enumerate(stream):
+            yield (record.timestamp, record.rank, position), record
+
+    merged = heapq.merge(*(keyed(i, s) for i, s in enumerate(streams)), key=lambda kv: kv[0])
+    out: list[TraceRecord] = []
+    previous_by_rank: dict[int, float] = {}
+    for _, record in merged:
+        last = previous_by_rank.get(record.rank)
+        if last is not None and record.timestamp < last:
+            raise ValueError(
+                f"rank {record.rank} record stream is not sorted: "
+                f"{record.timestamp} after {last}"
+            )
+        previous_by_rank[record.rank] = record.timestamp
+        out.append(record)
+    return out
+
+
+def merge_trace(trace: Trace) -> list[TraceRecord]:
+    """Merge all ranks of ``trace`` into one time-ordered record stream."""
+    return merge_records([rank.records for rank in trace.ranks])

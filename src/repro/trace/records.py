@@ -1,0 +1,59 @@
+"""Raw trace records.
+
+Records are what the simulated tracer writes during execution, mirroring the
+time-stamped function entry/exit records (plus segment markers) described in
+Section 3.1 of the paper.  Segmentation (pairing ENTER/EXIT into events and
+grouping them under SEGMENT markers) happens after collection in
+:mod:`repro.trace.segments`, just as a real post-mortem tool would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+from repro.trace.events import MpiCallInfo
+
+__all__ = ["RecordKind", "TraceRecord"]
+
+
+class RecordKind(IntEnum):
+    """Kind of a raw trace record."""
+
+    ENTER = 0
+    EXIT = 1
+    SEGMENT_BEGIN = 2
+    SEGMENT_END = 3
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One time-stamped trace record.
+
+    Attributes
+    ----------
+    kind:
+        Record kind (function enter/exit or segment marker).
+    rank:
+        MPI rank that produced the record.
+    timestamp:
+        Microseconds since the start of the run (rank-local virtual clock).
+    name:
+        Function name for ENTER/EXIT, segment context (e.g. ``"main.1"``) for
+        segment markers.
+    mpi:
+        MPI call parameters; present only on the ENTER record of an MPI call.
+    """
+
+    kind: RecordKind
+    rank: int
+    timestamp: float
+    name: str
+    mpi: Optional[MpiCallInfo] = None
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"record timestamp must be non-negative, got {self.timestamp}")
+        if self.mpi is not None and self.kind is not RecordKind.ENTER:
+            raise ValueError("MPI call info may only be attached to ENTER records")

@@ -1,0 +1,121 @@
+"""Tests for the trend-retention comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import ComparisonOptions, compare_diagnoses
+from repro.analysis.patterns import EXECUTION_TIME, LATE_SENDER, WAIT_AT_BARRIER, WAIT_AT_NXN
+from repro.analysis.report import DiagnosisReport
+
+
+def _report(entries, nprocs=4, wall_time=10_000.0, name="r"):
+    """entries: {(metric, location): per-rank list}"""
+    report = DiagnosisReport(name=name, nprocs=nprocs, wall_time=wall_time)
+    for (metric, location), values in entries.items():
+        for rank, value in enumerate(values):
+            report.add(metric, location, rank, max(0.0, value), value)
+    return report
+
+
+FULL = {
+    (LATE_SENDER, "MPI_Recv"): [0.0, 5000.0, 0.0, 5000.0],
+    (EXECUTION_TIME, "do_work"): [10_000.0, 10_000.0, 10_000.0, 10_000.0],
+}
+
+
+class TestRetained:
+    def test_identical_reports_retained(self):
+        full = _report(FULL)
+        reduced = _report(FULL)
+        result = compare_diagnoses(full, reduced)
+        assert result.retained
+        assert result.violations == []
+        assert (LATE_SENDER, "MPI_Recv") in result.major_diagnoses
+
+    def test_small_perturbation_retained(self):
+        reduced = {
+            (LATE_SENDER, "MPI_Recv"): [0.0, 5400.0, 0.0, 4600.0],
+            (EXECUTION_TIME, "do_work"): [10_100.0, 9_900.0, 10_000.0, 10_050.0],
+        }
+        assert compare_diagnoses(_report(FULL), _report(reduced)).retained
+
+
+class TestViolations:
+    def test_vanished_major_diagnosis(self):
+        reduced = {
+            (LATE_SENDER, "MPI_Recv"): [0.0, 10.0, 0.0, 10.0],
+            (EXECUTION_TIME, "do_work"): FULL[(EXECUTION_TIME, "do_work")],
+        }
+        result = compare_diagnoses(_report(FULL), _report(reduced))
+        assert not result.retained
+        assert any("total severity changed" in v for v in result.violations)
+
+    def test_wildly_inflated_major_diagnosis(self):
+        reduced = {
+            (LATE_SENDER, "MPI_Recv"): [0.0, 50_000.0, 0.0, 50_000.0],
+            (EXECUTION_TIME, "do_work"): FULL[(EXECUTION_TIME, "do_work")],
+        }
+        assert not compare_diagnoses(_report(FULL), _report(reduced)).retained
+
+    def test_profile_inversion_detected(self):
+        """The waiting ranks swap: totals match but the per-rank profile doesn't."""
+        reduced = {
+            (LATE_SENDER, "MPI_Recv"): [5000.0, 0.0, 5000.0, 0.0],
+            (EXECUTION_TIME, "do_work"): FULL[(EXECUTION_TIME, "do_work")],
+        }
+        result = compare_diagnoses(_report(FULL), _report(reduced))
+        assert not result.retained
+        assert any("profile" in v for v in result.violations)
+
+    def test_spurious_diagnosis_detected(self):
+        reduced = dict(FULL)
+        reduced[(WAIT_AT_BARRIER, "MPI_Barrier")] = [8000.0, 8000.0, 8000.0, 8000.0]
+        result = compare_diagnoses(_report(FULL), _report(reduced))
+        assert not result.retained
+        assert any("spurious" in v for v in result.violations)
+
+    def test_execution_time_disparity_lost(self):
+        full = {
+            (LATE_SENDER, "MPI_Recv"): [0.0, 5000.0, 0.0, 5000.0],
+            (EXECUTION_TIME, "do_work"): [20_000.0, 5_000.0, 20_000.0, 5_000.0],
+        }
+        reduced = {
+            (LATE_SENDER, "MPI_Recv"): [0.0, 5000.0, 0.0, 5000.0],
+            (EXECUTION_TIME, "do_work"): [5_000.0, 20_000.0, 5_000.0, 20_000.0],
+        }
+        result = compare_diagnoses(_report(full), _report(reduced))
+        assert not result.retained
+        assert any("disparity" in v for v in result.violations)
+
+
+class TestOptionsAndEdges:
+    def test_mismatched_rank_counts_rejected(self):
+        with pytest.raises(ValueError):
+            compare_diagnoses(_report(FULL, nprocs=4), DiagnosisReport(name="x", nprocs=2))
+
+    def test_empty_reports_are_retained(self):
+        full = DiagnosisReport(name="a", nprocs=2, wall_time=100.0)
+        reduced = DiagnosisReport(name="b", nprocs=2, wall_time=100.0)
+        assert compare_diagnoses(full, reduced).retained
+
+    def test_stricter_factor_flags_more(self):
+        reduced = {
+            (LATE_SENDER, "MPI_Recv"): [0.0, 2200.0, 0.0, 2200.0],
+            (EXECUTION_TIME, "do_work"): FULL[(EXECUTION_TIME, "do_work")],
+        }
+        lenient = compare_diagnoses(_report(FULL), _report(reduced))
+        strict = compare_diagnoses(
+            _report(FULL), _report(reduced), ComparisonOptions(severity_factor=1.5)
+        )
+        assert lenient.retained
+        assert not strict.retained
+
+    def test_summary_mentions_status(self):
+        result = compare_diagnoses(_report(FULL), _report(FULL))
+        assert "retained" in result.summary()
+
+    def test_deltas_reported_for_major_diagnoses(self):
+        result = compare_diagnoses(_report(FULL), _report(FULL))
+        assert len(result.deltas) == len(result.major_diagnoses)
+        delta = result.deltas[0]
+        assert delta.full_total == pytest.approx(delta.reduced_total)

@@ -1,0 +1,64 @@
+"""Tests for the CUBE-style severity chart rendering."""
+
+import pytest
+
+from repro.analysis.cube import severity_chart, severity_level, severity_row
+from repro.analysis.patterns import EXECUTION_TIME, WAIT_AT_NXN
+from repro.analysis.report import DiagnosisReport
+
+
+class TestSeverityLevel:
+    def test_negative_is_neg(self):
+        assert severity_level(-1.0, 100.0) == "neg"
+
+    def test_zero_reference(self):
+        assert severity_level(5.0, 0.0) == "0"
+
+    def test_buckets(self):
+        assert severity_level(100.0, 100.0) == "high"
+        assert severity_level(60.0, 100.0) == "med"
+        assert severity_level(30.0, 100.0) == "low"
+        assert severity_level(10.0, 100.0) == "vlow"
+        assert severity_level(1.0, 100.0) == "0"
+
+    def test_row(self):
+        assert severity_row([100.0, -5.0, 0.0], 100.0) == ["high", "neg", "0"]
+
+
+class TestSeverityChart:
+    def _report(self):
+        report = DiagnosisReport(name="t", nprocs=3, wall_time=100.0)
+        report.add(WAIT_AT_NXN, "MPI_Alltoall", 0, 90.0, 90.0)
+        report.add(WAIT_AT_NXN, "MPI_Alltoall", 1, 10.0, 10.0)
+        report.add(WAIT_AT_NXN, "MPI_Alltoall", 2, 0.0, -40.0)
+        report.add(EXECUTION_TIME, "do_work", 2, 70.0, 70.0)
+        return report
+
+    def test_chart_contains_abbreviation_and_levels(self):
+        chart = severity_chart(self._report(), [(WAIT_AT_NXN, "MPI_Alltoall")])
+        assert "NN" in chart
+        assert "high" in chart
+        assert "neg" in chart  # signed view shows the negative severity
+
+    def test_unsigned_view_has_no_neg(self):
+        chart = severity_chart(self._report(), [(WAIT_AT_NXN, "MPI_Alltoall")], signed=False)
+        assert "neg" not in chart
+
+    def test_one_column_per_process(self):
+        chart = severity_chart(self._report(), [(WAIT_AT_NXN, "MPI_Alltoall")])
+        header = chart.splitlines()[0]
+        assert all(f"p{r}" in header for r in range(3))
+
+    def test_multiple_entries(self):
+        chart = severity_chart(
+            self._report(), [(WAIT_AT_NXN, "MPI_Alltoall"), (EXECUTION_TIME, "do_work")]
+        )
+        assert len(chart.splitlines()) == 4  # header, rule, two rows
+
+    def test_missing_entry_renders_zeros(self):
+        chart = severity_chart(self._report(), [("Late Sender", "MPI_Recv")])
+        assert "Late Sender" in chart or "LS" in chart
+
+    def test_title(self):
+        chart = severity_chart(self._report(), [(WAIT_AT_NXN, "MPI_Alltoall")], title="full trace")
+        assert chart.splitlines()[0] == "full trace"

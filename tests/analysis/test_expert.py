@@ -1,0 +1,160 @@
+"""Tests for the EXPERT-style analyzer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expert import AnalysisError, analyze
+from repro.analysis.patterns import (
+    EARLY_GATHER,
+    EXECUTION_TIME,
+    LATE_BROADCAST,
+    LATE_RECEIVER,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+)
+from repro.benchmarks_ats import early_gather, late_broadcast, late_sender
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.program import build_program
+from repro.trace.events import MpiCallInfo
+from repro.trace.segments import Segment
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+from tests.conftest import make_segment
+
+
+def _trace_from_segments(per_rank_segments, name="t"):
+    ranks = [
+        SegmentedRankTrace(rank=r, segments=[s.with_rank(r) for s in segments])
+        for r, segments in enumerate(per_rank_segments)
+    ]
+    return SegmentedTrace(name=name, ranks=ranks)
+
+
+class TestExecutionTime:
+    def test_per_function_per_rank(self):
+        seg0 = make_segment("c", [("f", 0.0, 10.0), ("g", 10.0, 30.0)], end=30.0)
+        seg1 = make_segment("c", [("f", 0.0, 40.0), ("g", 40.0, 45.0)], end=45.0)
+        report = analyze(_trace_from_segments([[seg0], [seg1]]))
+        np.testing.assert_allclose(report.per_rank(EXECUTION_TIME, "f"), [10.0, 40.0])
+        np.testing.assert_allclose(report.per_rank(EXECUTION_TIME, "g"), [20.0, 5.0])
+
+    def test_wall_time_recorded(self):
+        seg = make_segment("c", [("f", 0.0, 10.0)], end=12.0)
+        report = analyze(_trace_from_segments([[seg]]))
+        assert report.wall_time == pytest.approx(12.0)
+
+
+class TestPointToPointPairing:
+    def _p2p_trace(self, send_start, recv_start, op="send"):
+        send_info = MpiCallInfo(op=op, peer=1, tag=0, nbytes=8)
+        recv_info = MpiCallInfo(op="recv", peer=0, tag=0, nbytes=8)
+        name = "MPI_Ssend" if op == "ssend" else "MPI_Send"
+        sender = make_segment(
+            "c", [(name, send_start, send_start + 5.0)], start=0.0, end=send_start + 6.0,
+            mpi_for={name: send_info},
+        )
+        receiver = make_segment(
+            "c", [("MPI_Recv", recv_start, max(recv_start, send_start) + 6.0)],
+            start=0.0, end=max(recv_start, send_start) + 7.0,
+            mpi_for={"MPI_Recv": recv_info},
+        )
+        return _trace_from_segments([[sender], [receiver]])
+
+    def test_late_sender_detected(self):
+        report = analyze(self._p2p_trace(send_start=300.0, recv_start=100.0))
+        assert report.per_rank(LATE_SENDER, "MPI_Recv")[1] == pytest.approx(200.0)
+
+    def test_no_late_sender_when_send_is_early(self):
+        report = analyze(self._p2p_trace(send_start=50.0, recv_start=100.0))
+        assert report.total(LATE_SENDER, "MPI_Recv") == 0.0
+        assert report.per_rank_signed(LATE_SENDER, "MPI_Recv")[1] == pytest.approx(-50.0)
+
+    def test_late_receiver_only_for_synchronous_sends(self):
+        eager = analyze(self._p2p_trace(send_start=50.0, recv_start=400.0, op="send"))
+        sync = analyze(self._p2p_trace(send_start=50.0, recv_start=400.0, op="ssend"))
+        assert eager.total(LATE_RECEIVER, "MPI_Send") == 0.0
+        assert sync.per_rank(LATE_RECEIVER, "MPI_Ssend")[0] == pytest.approx(350.0)
+
+    def test_fifo_pairing_per_tag(self):
+        send_info = MpiCallInfo(op="send", peer=1, tag=0, nbytes=8)
+        recv_info = MpiCallInfo(op="recv", peer=0, tag=0, nbytes=8)
+        sender = make_segment(
+            "c",
+            [("MPI_Send", 100.0, 105.0), ("MPI_Send", 300.0, 305.0)],
+            end=306.0,
+            mpi_for={"MPI_Send": send_info},
+        )
+        receiver = make_segment(
+            "c",
+            [("MPI_Recv", 10.0, 110.0), ("MPI_Recv", 120.0, 310.0)],
+            end=311.0,
+            mpi_for={"MPI_Recv": recv_info},
+        )
+        report = analyze(_trace_from_segments([[sender], [receiver]]))
+        # first recv waits for first send (90), second for second send (180)
+        assert report.per_rank(LATE_SENDER, "MPI_Recv")[1] == pytest.approx(90.0 + 180.0)
+
+
+class TestCollectivePairing:
+    def _collective_trace(self, enters, op="barrier", root=None, name="MPI_Barrier"):
+        info = MpiCallInfo(op=op, root=root)
+        per_rank = []
+        for enter in enters:
+            seg = make_segment(
+                "c", [(name, enter, max(enters) + 10.0)], start=0.0, end=max(enters) + 11.0,
+                mpi_for={name: info},
+            )
+            per_rank.append([seg])
+        return _trace_from_segments(per_rank)
+
+    def test_barrier_waits(self):
+        report = analyze(self._collective_trace([100.0, 400.0, 250.0]))
+        waits = report.per_rank(WAIT_AT_BARRIER, "MPI_Barrier")
+        np.testing.assert_allclose(waits, [300.0, 0.0, 150.0])
+
+    def test_late_broadcast(self):
+        report = analyze(
+            self._collective_trace([500.0, 100.0, 150.0], op="bcast", root=0, name="MPI_Bcast")
+        )
+        waits = report.per_rank(LATE_BROADCAST, "MPI_Bcast")
+        np.testing.assert_allclose(waits, [0.0, 400.0, 350.0])
+
+    def test_early_gather(self):
+        report = analyze(
+            self._collective_trace([50.0, 600.0, 300.0], op="gather", root=0, name="MPI_Gather")
+        )
+        waits = report.per_rank(EARLY_GATHER, "MPI_Gather")
+        np.testing.assert_allclose(waits, [550.0, 0.0, 0.0])
+
+    def test_inconsistent_participation_rejected(self):
+        info = MpiCallInfo(op="barrier")
+        seg = make_segment("c", [("MPI_Barrier", 0.0, 1.0)], end=2.0, mpi_for={"MPI_Barrier": info})
+        empty = make_segment("c", [], end=2.0)
+        with pytest.raises(AnalysisError, match="participants"):
+            analyze(_trace_from_segments([[seg], [empty]]))
+
+    def test_mixed_collective_ops_rejected(self):
+        barrier = make_segment(
+            "c", [("MPI_Barrier", 0.0, 1.0)], end=2.0, mpi_for={"MPI_Barrier": MpiCallInfo(op="barrier")}
+        )
+        alltoall = make_segment(
+            "c", [("MPI_Alltoall", 0.0, 1.0)], end=2.0, mpi_for={"MPI_Alltoall": MpiCallInfo(op="alltoall")}
+        )
+        with pytest.raises(AnalysisError, match="mixes"):
+            analyze(_trace_from_segments([[barrier], [alltoall]]))
+
+
+class TestOnSimulatedWorkloads:
+    def test_late_sender_workload_severity_magnitude(self):
+        iterations, severity = 10, 500.0
+        workload = late_sender(4, iterations, severity=severity, seed=2)
+        report = analyze(workload.run_segmented())
+        per_receiver = report.per_rank(LATE_SENDER, "MPI_Recv")[1]
+        assert per_receiver == pytest.approx(iterations * severity, rel=0.15)
+
+    def test_expected_metric_is_dominant(self):
+        for factory in (late_sender, early_gather, late_broadcast):
+            workload = factory(4, 8, seed=3)
+            report = analyze(workload.run_segmented())
+            expected_total = report.total(workload.expected_metric, workload.expected_location)
+            assert expected_total == pytest.approx(report.max_wait_total())

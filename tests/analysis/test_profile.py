@@ -1,0 +1,87 @@
+"""Tests for the flat profile and the paper's "profiles are not enough" argument."""
+
+import pytest
+
+from repro.analysis.expert import analyze
+from repro.analysis.patterns import LATE_RECEIVER, LATE_SENDER
+from repro.analysis.profile import flat_profile
+from repro.benchmarks_ats import late_receiver, late_sender
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+from tests.conftest import make_segment
+
+
+def _simple_trace():
+    segments = [
+        make_segment("c", [("work", 0.0, 100.0), ("MPI_Recv", 100.0, 150.0)], end=150.0),
+        make_segment("c", [("work", 150.0, 260.0), ("MPI_Recv", 260.0, 300.0)], end=300.0,
+                     index=1),
+    ]
+    return SegmentedTrace(name="t", ranks=[SegmentedRankTrace(rank=0, segments=segments)])
+
+
+class TestFlatProfile:
+    def test_totals_and_calls(self):
+        profile = flat_profile(_simple_trace())
+        work = profile.entry("work")
+        assert work.calls == 2
+        assert work.total_time == pytest.approx(210.0)
+        assert work.mean_time == pytest.approx(105.0)
+        assert work.max_time == pytest.approx(110.0)
+
+    def test_fractions_sum_to_one(self):
+        profile = flat_profile(_simple_trace())
+        assert sum(e.fraction for e in profile.entries) == pytest.approx(1.0)
+
+    def test_sorted_by_total_time(self):
+        profile = flat_profile(_simple_trace())
+        totals = [e.total_time for e in profile.entries]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_missing_function_entry_is_zero(self):
+        profile = flat_profile(_simple_trace())
+        assert profile.entry("does_not_exist").calls == 0
+
+    def test_mpi_fraction(self):
+        profile = flat_profile(_simple_trace())
+        assert profile.mpi_fraction() == pytest.approx(90.0 / 300.0)
+
+    def test_empty_trace(self):
+        profile = flat_profile(SegmentedTrace(name="e", ranks=[]))
+        assert profile.total_time == 0.0
+        assert profile.entries == []
+        assert profile.mpi_fraction() == 0.0
+
+    def test_table_rendering(self):
+        text = flat_profile(_simple_trace()).as_table()
+        assert "MPI_Recv" in text and "% of total" in text
+
+
+class TestProfilesAreNotEnough:
+    """The paper's motivating argument (Section 1): two workloads with different
+    root causes look alike in a profile but differ in the trace diagnosis."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        sender_late = late_sender(4, 12, severity=500.0, seed=5).run_segmented()
+        receiver_late = late_receiver(4, 12, severity=500.0, seed=5).run_segmented()
+        return sender_late, receiver_late
+
+    def test_profiles_show_similar_mpi_share(self, traces):
+        sender_late, receiver_late = traces
+        a = flat_profile(sender_late).mpi_fraction()
+        b = flat_profile(receiver_late).mpi_fraction()
+        assert a == pytest.approx(b, rel=0.35)
+        assert a > 0.05
+
+    def test_trace_diagnosis_distinguishes_the_two(self, traces):
+        sender_late, receiver_late = traces
+        report_ls = analyze(sender_late)
+        report_lr = analyze(receiver_late)
+        # late_sender: Late Sender dominates; late_receiver: Late Receiver dominates.
+        assert report_ls.total(LATE_SENDER, "MPI_Recv") > 5 * report_ls.total(
+            LATE_RECEIVER, "MPI_Ssend"
+        )
+        assert report_lr.total(LATE_RECEIVER, "MPI_Ssend") > 5 * report_lr.total(
+            LATE_SENDER, "MPI_Recv"
+        )

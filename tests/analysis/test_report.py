@@ -1,0 +1,65 @@
+"""Tests for the diagnosis report container."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import EXECUTION_TIME, LATE_SENDER, WAIT_AT_NXN
+from repro.analysis.report import DiagnosisReport
+
+
+def _report():
+    report = DiagnosisReport(name="t", nprocs=4, wall_time=1000.0)
+    report.add(LATE_SENDER, "MPI_Recv", 1, 100.0, 100.0)
+    report.add(LATE_SENDER, "MPI_Recv", 1, 50.0, 50.0)
+    report.add(LATE_SENDER, "MPI_Recv", 3, 20.0, -20.0)
+    report.add(WAIT_AT_NXN, "MPI_Alltoall", 0, 5.0, 5.0)
+    report.add(EXECUTION_TIME, "do_work", 0, 500.0, 500.0)
+    return report
+
+
+class TestDiagnosisReport:
+    def test_accumulates_per_rank(self):
+        report = _report()
+        np.testing.assert_allclose(report.per_rank(LATE_SENDER, "MPI_Recv"), [0, 150, 0, 20])
+
+    def test_signed_tracked_separately(self):
+        report = _report()
+        assert report.per_rank_signed(LATE_SENDER, "MPI_Recv")[3] == pytest.approx(-20.0)
+
+    def test_total(self):
+        assert _report().total(LATE_SENDER, "MPI_Recv") == pytest.approx(170.0)
+
+    def test_missing_diagnosis_is_zero(self):
+        report = _report()
+        assert report.total("Late Receiver", "MPI_Ssend") == 0.0
+        assert report.per_rank("Late Receiver", "MPI_Ssend").shape == (4,)
+
+    def test_wait_diagnoses_exclude_execution_time(self):
+        keys = set(_report().wait_diagnoses())
+        assert (EXECUTION_TIME, "do_work") not in keys
+        assert (LATE_SENDER, "MPI_Recv") in keys
+
+    def test_execution_times(self):
+        assert set(_report().execution_times()) == {(EXECUTION_TIME, "do_work")}
+
+    def test_max_wait_total(self):
+        assert _report().max_wait_total() == pytest.approx(170.0)
+
+    def test_major_diagnoses_filters_small_entries(self):
+        majors = _report().major_diagnoses(fraction=0.1, floor=0.0)
+        assert (LATE_SENDER, "MPI_Recv") in majors
+        assert (WAIT_AT_NXN, "MPI_Alltoall") not in majors
+
+    def test_major_diagnoses_floor(self):
+        majors = _report().major_diagnoses(fraction=0.0, floor=1000.0)
+        assert majors == []
+
+    def test_empty_report(self):
+        report = DiagnosisReport(name="e", nprocs=2)
+        assert report.max_wait_total() == 0.0
+        assert report.major_diagnoses() == []
+        assert report.as_table() == []
+
+    def test_as_table_sorted(self):
+        rows = _report().as_table()
+        assert rows == sorted(rows)

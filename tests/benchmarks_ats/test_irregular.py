@@ -1,0 +1,76 @@
+"""Tests for the interference (irregular) benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expert import analyze
+from repro.benchmarks_ats.irregular import INTERFERENCE_PATTERNS, interference
+from repro.simulator.noise import PeriodicNoise
+
+NPROCS = 4
+ITERATIONS = 12
+
+
+class TestConstruction:
+    def test_all_patterns_build(self):
+        for pattern in INTERFERENCE_PATTERNS:
+            workload = interference(pattern, 32, nprocs=NPROCS, iterations=2)
+            assert workload.name == f"{pattern}_32"
+            assert workload.nprocs == NPROCS
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown interference pattern"):
+            interference("NtoM", 32, nprocs=NPROCS, iterations=2)
+
+    def test_pairwise_patterns_need_even_ranks(self):
+        with pytest.raises(ValueError):
+            interference("1to1r", 32, nprocs=3, iterations=2)
+
+    def test_noise_model_attached(self):
+        workload = interference("NtoN", 1024, nprocs=NPROCS, iterations=2)
+        assert isinstance(workload.config.noise, PeriodicNoise)
+
+    def test_expected_diagnosis_metadata(self):
+        workload = interference("Nto1", 32, nprocs=NPROCS, iterations=2)
+        assert workload.expected_metric == "Early Gather"
+        assert workload.expected_location == "MPI_Gather"
+
+
+class TestBehaviour:
+    def test_runs_and_produces_segments(self):
+        trace = interference("NtoN", 32, nprocs=NPROCS, iterations=ITERATIONS, seed=1).run_segmented()
+        contexts = {s.context for s in trace.rank(0).segments}
+        assert contexts == {"init", "main.1", "final"}
+        assert len(trace.rank(0).segments) == ITERATIONS + 2
+
+    def test_noise_creates_iteration_variability(self):
+        """Interference must make some iterations noticeably longer than others."""
+        trace = interference(
+            "NtoN", 1024, nprocs=NPROCS, iterations=40, seed=3
+        ).run_segmented()
+        durations = [s.duration for s in trace.rank(0).segments if s.context == "main.1"]
+        durations = np.asarray(durations)
+        assert durations.max() > 1.15 * np.median(durations)
+
+    def test_1024_noisier_than_32(self):
+        quiet = interference("NtoN", 32, nprocs=NPROCS, iterations=40, seed=3).run_segmented()
+        noisy = interference("NtoN", 1024, nprocs=NPROCS, iterations=40, seed=3).run_segmented()
+        assert noisy.duration() > quiet.duration()
+
+    def test_expected_wait_metric_appears(self):
+        workload = interference("NtoN", 1024, nprocs=NPROCS, iterations=30, seed=2)
+        report = analyze(workload.run_segmented())
+        assert report.total(workload.expected_metric, workload.expected_location) > 0.0
+
+    def test_1to1_patterns_pair_even_and_odd(self):
+        workload = interference("1to1r", 32, nprocs=NPROCS, iterations=5, seed=0)
+        trace = workload.run_segmented()
+        rank0_names = {e.name for e in trace.rank(0).events()}
+        rank1_names = {e.name for e in trace.rank(1).events()}
+        assert "MPI_Send" in rank0_names
+        assert "MPI_Recv" in rank1_names
+
+    def test_1to1s_uses_synchronous_sends(self):
+        workload = interference("1to1s", 32, nprocs=NPROCS, iterations=5, seed=0)
+        trace = workload.run_segmented()
+        assert "MPI_Ssend" in {e.name for e in trace.rank(0).events()}

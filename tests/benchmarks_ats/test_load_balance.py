@@ -1,0 +1,65 @@
+"""Tests for the dynamic-load-balance benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expert import analyze
+from repro.analysis.patterns import EXECUTION_TIME, WAIT_AT_NXN
+from repro.benchmarks_ats.load_balance import dyn_load_balance, work_schedule
+
+
+class TestWorkSchedule:
+    def test_upper_half_grows(self):
+        schedule = work_schedule(3, 4, 5, base_work=1000.0, drift=100.0, rebalance_period=10)
+        assert schedule == [1000.0, 1100.0, 1200.0, 1300.0, 1400.0]
+
+    def test_lower_half_shrinks(self):
+        schedule = work_schedule(0, 4, 5, base_work=1000.0, drift=100.0, rebalance_period=10)
+        assert schedule == [1000.0, 900.0, 800.0, 700.0, 600.0]
+
+    def test_rebalance_resets(self):
+        schedule = work_schedule(3, 4, 6, base_work=1000.0, drift=100.0, rebalance_period=3)
+        assert schedule[3] == 1000.0
+        assert schedule[4] == 1100.0
+
+    def test_lower_bound_floor(self):
+        schedule = work_schedule(0, 4, 30, base_work=1000.0, drift=100.0, rebalance_period=30)
+        assert min(schedule) == pytest.approx(100.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            work_schedule(0, 4, 5, base_work=0.0, drift=1.0, rebalance_period=5)
+        with pytest.raises(ValueError):
+            work_schedule(0, 4, 5, base_work=1.0, drift=1.0, rebalance_period=0)
+
+
+class TestDynLoadBalance:
+    def test_metadata(self):
+        workload = dyn_load_balance(4, 8)
+        assert workload.expected_metric == WAIT_AT_NXN
+        assert workload.expected_location == "MPI_Alltoall"
+
+    def test_lower_ranks_wait_in_alltoall(self):
+        workload = dyn_load_balance(4, 16, rebalance_period=8, drift=80.0, seed=1)
+        report = analyze(workload.run_segmented())
+        waits = report.per_rank(WAIT_AT_NXN, "MPI_Alltoall")
+        lower = waits[:2].mean()
+        upper = waits[2:].mean()
+        assert lower > 2.0 * upper
+
+    def test_upper_ranks_spend_more_time_in_do_work(self):
+        workload = dyn_load_balance(4, 16, rebalance_period=8, drift=80.0, seed=1)
+        report = analyze(workload.run_segmented())
+        times = report.per_rank(EXECUTION_TIME, "do_work")
+        assert times[2:].mean() > times[:2].mean()
+
+    def test_segments_vary_over_time(self):
+        """Successive iterations are NOT near-identical (unlike the regular set)."""
+        trace = dyn_load_balance(4, 16, rebalance_period=8, drift=80.0, seed=1).run_segmented()
+        durations = [s.duration for s in trace.rank(3).segments if s.context == "main.1"]
+        assert max(durations) > 1.3 * min(durations)
+
+    def test_deterministic(self):
+        a = dyn_load_balance(4, 6, seed=4).run_segmented().timestamps()
+        b = dyn_load_balance(4, 6, seed=4).run_segmented().timestamps()
+        np.testing.assert_array_equal(a, b)

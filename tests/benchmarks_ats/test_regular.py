@@ -1,0 +1,151 @@
+"""Tests for the regular-behaviour benchmarks.
+
+Each benchmark is validated against the behaviour the paper designed it to
+exhibit: the analyzer run on the full trace must report the expected
+diagnosis, concentrated on the expected ranks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expert import analyze
+from repro.analysis.patterns import (
+    EARLY_GATHER,
+    LATE_BROADCAST,
+    LATE_RECEIVER,
+    LATE_SENDER,
+    WAIT_AT_BARRIER,
+)
+from repro.benchmarks_ats.base import jittered
+from repro.benchmarks_ats.regular import (
+    early_gather,
+    imbalance_at_mpi_barrier,
+    late_broadcast,
+    late_receiver,
+    late_sender,
+)
+from repro.util.rng import rng_for
+
+NPROCS = 4
+ITERATIONS = 6
+
+
+def _report(workload):
+    return analyze(workload.run_segmented())
+
+
+class TestJittered:
+    def test_zero_jitter_is_identity(self):
+        rng = rng_for(0, "t")
+        assert jittered(rng, 100.0, 0.0) == 100.0
+
+    def test_zero_nominal(self):
+        rng = rng_for(0, "t")
+        assert jittered(rng, 0.0, 0.1) == 0.0
+
+    def test_bounded(self):
+        rng = rng_for(0, "t")
+        values = [jittered(rng, 100.0, 0.5) for _ in range(200)]
+        assert all(50.0 <= v <= 200.0 for v in values)
+
+    def test_varies(self):
+        rng = rng_for(0, "t")
+        values = {jittered(rng, 100.0, 0.05) for _ in range(10)}
+        assert len(values) > 1
+
+
+class TestLateSender:
+    def test_metadata(self):
+        workload = late_sender(NPROCS, ITERATIONS)
+        assert workload.name == "late_sender"
+        assert workload.expected_metric == LATE_SENDER
+        assert workload.nprocs == NPROCS
+
+    def test_odd_nprocs_rejected(self):
+        with pytest.raises(ValueError):
+            late_sender(5, ITERATIONS)
+
+    def test_diagnosis_present_on_receivers(self):
+        report = _report(late_sender(NPROCS, ITERATIONS, severity=500.0, seed=1))
+        per_rank = report.per_rank(LATE_SENDER, "MPI_Recv")
+        receivers = per_rank[1::2]
+        senders = per_rank[0::2]
+        # every receiver waited roughly severity × iterations
+        assert np.all(receivers > 0.5 * 500.0 * ITERATIONS)
+        assert np.all(senders == 0.0)
+
+    def test_severity_scales(self):
+        low = _report(late_sender(NPROCS, ITERATIONS, severity=200.0, seed=1))
+        high = _report(late_sender(NPROCS, ITERATIONS, severity=800.0, seed=1))
+        assert high.total(LATE_SENDER, "MPI_Recv") > low.total(LATE_SENDER, "MPI_Recv")
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            late_sender(NPROCS, 0)
+        with pytest.raises(ValueError):
+            late_sender(NPROCS, ITERATIONS, work=-1.0)
+
+
+class TestLateReceiver:
+    def test_diagnosis_on_senders(self):
+        report = _report(late_receiver(NPROCS, ITERATIONS, severity=500.0, seed=1))
+        per_rank = report.per_rank(LATE_RECEIVER, "MPI_Ssend")
+        assert np.all(per_rank[0::2] > 0.5 * 500.0 * ITERATIONS)
+        assert np.all(per_rank[1::2] == 0.0)
+
+    def test_little_late_sender_waiting(self):
+        report = _report(late_receiver(NPROCS, ITERATIONS, severity=500.0, seed=1))
+        assert report.total(LATE_RECEIVER, "MPI_Ssend") > 3 * report.total(
+            LATE_SENDER, "MPI_Recv"
+        )
+
+
+class TestEarlyGather:
+    def test_diagnosis_on_root(self):
+        report = _report(early_gather(NPROCS, ITERATIONS, severity=400.0, seed=1))
+        per_rank = report.per_rank(EARLY_GATHER, "MPI_Gather")
+        assert per_rank[0] > 0.5 * 400.0 * ITERATIONS
+        assert np.all(per_rank[1:] == 0.0)
+
+    def test_custom_root(self):
+        report = _report(early_gather(NPROCS, ITERATIONS, severity=400.0, root=2, seed=1))
+        per_rank = report.per_rank(EARLY_GATHER, "MPI_Gather")
+        assert per_rank[2] > 0.0
+        assert per_rank[0] == 0.0
+
+
+class TestLateBroadcast:
+    def test_diagnosis_on_receivers(self):
+        report = _report(late_broadcast(NPROCS, ITERATIONS, severity=400.0, seed=1))
+        per_rank = report.per_rank(LATE_BROADCAST, "MPI_Bcast")
+        assert per_rank[0] == 0.0
+        assert np.all(per_rank[1:] > 0.5 * 400.0 * ITERATIONS)
+
+
+class TestImbalanceAtBarrier:
+    def test_heavy_rank_does_not_wait(self):
+        report = _report(imbalance_at_mpi_barrier(NPROCS, ITERATIONS, severity=400.0, seed=1))
+        per_rank = report.per_rank(WAIT_AT_BARRIER, "MPI_Barrier")
+        heavy = NPROCS - 1
+        assert per_rank[heavy] < 0.2 * per_rank[:heavy].mean()
+        assert np.all(per_rank[:heavy] > 0.5 * 400.0 * ITERATIONS)
+
+    def test_do_work_time_reflects_imbalance(self):
+        report = _report(imbalance_at_mpi_barrier(NPROCS, ITERATIONS, severity=400.0, seed=1))
+        times = report.per_rank("Execution Time", "do_work")
+        assert times[NPROCS - 1] > times[0]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [late_sender, late_receiver, early_gather, late_broadcast, imbalance_at_mpi_barrier]
+    )
+    def test_same_seed_same_trace(self, factory):
+        a = factory(NPROCS, 3, seed=7).run_segmented()
+        b = factory(NPROCS, 3, seed=7).run_segmented()
+        np.testing.assert_array_equal(a.timestamps(), b.timestamps())
+
+    def test_different_seed_different_trace(self):
+        a = late_sender(NPROCS, 3, seed=1).run_segmented()
+        b = late_sender(NPROCS, 3, seed=2).run_segmented()
+        assert not np.array_equal(a.timestamps(), b.timestamps())

@@ -1,0 +1,100 @@
+"""Unit tests for the Minkowski distance metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics.minkowski import Chebyshev, Euclidean, Manhattan, minkowski_distance
+from repro.core.reduced import StoredSegment
+
+from tests.conftest import make_segment
+
+
+def _stored(segment, sid=0):
+    return StoredSegment(segment_id=sid, segment=segment)
+
+
+class TestMinkowskiDistance:
+    def test_manhattan(self):
+        assert minkowski_distance([0, 0], [3, 4], 1) == pytest.approx(7.0)
+
+    def test_euclidean(self):
+        assert minkowski_distance([0, 0], [3, 4], 2) == pytest.approx(5.0)
+
+    def test_chebyshev(self):
+        assert minkowski_distance([0, 0], [3, 4], math.inf) == pytest.approx(4.0)
+
+    def test_ordering(self):
+        a, b = np.array([0.0, 0.0, 0.0]), np.array([1.0, 2.0, 3.0])
+        manhattan = minkowski_distance(a, b, 1)
+        euclidean = minkowski_distance(a, b, 2)
+        chebyshev = minkowski_distance(a, b, math.inf)
+        assert manhattan >= euclidean >= chebyshev
+
+    def test_identical_vectors(self):
+        assert minkowski_distance([1.0, 2.0], [1.0, 2.0], 2) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            minkowski_distance([1.0], [1.0, 2.0], 2)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            minkowski_distance([1.0], [2.0], 0)
+
+    def test_empty_vectors(self):
+        assert minkowski_distance([], [], math.inf) == 0.0
+
+
+class TestSegmentMatching:
+    def _pair(self, scale_difference):
+        a = make_segment("c", [("f", 10.0, 100.0)], end=110.0)
+        b = make_segment("c", [("f", 10.0, 100.0 + scale_difference)], end=110.0 + scale_difference)
+        return a, b
+
+    @pytest.mark.parametrize("metric_cls", [Manhattan, Euclidean, Chebyshev])
+    def test_identical_segments_match_at_zero_threshold(self, metric_cls):
+        a, _ = self._pair(0.0)
+        assert metric_cls(0.0).match(a, [_stored(a)]) is not None
+
+    @pytest.mark.parametrize("metric_cls", [Manhattan, Euclidean, Chebyshev])
+    def test_monotone_in_threshold(self, metric_cls):
+        a, b = self._pair(40.0)
+        strict = metric_cls(0.05)
+        loose = metric_cls(1.0)
+        if strict.match(a, [_stored(b)]) is not None:
+            pytest.skip("difference too small to discriminate")
+        assert loose.match(a, [_stored(b)]) is not None
+
+    def test_manhattan_strictest_for_distributed_differences(self):
+        """Many small differences: Manhattan accumulates them, Chebyshev sees only one."""
+        a = make_segment("c", [(f"f{i}", 10.0 * i, 10.0 * i + 5.0) for i in range(8)], end=100.0)
+        b = make_segment(
+            "c", [(f"f{i}", 10.0 * i + 3.0, 10.0 * i + 8.0) for i in range(8)], end=103.0
+        )
+        threshold = 0.1
+        assert Chebyshev(threshold).match(a, [_stored(b)]) is not None
+        assert Manhattan(threshold).match(a, [_stored(b)]) is None
+
+    def test_longer_segments_judged_less_critically(self):
+        """The paper's observation: because time stamps grow within a segment,
+        the max measurement (and hence the allowed distance) grows with segment
+        length, so the same absolute error passes in a long segment but fails
+        in a short one."""
+        short_a = make_segment("c", [("f", 0.0, 10.0)], end=20.0)
+        short_b = make_segment("c", [("f", 0.0, 22.0)], end=32.0)
+        long_a = make_segment(
+            "c", [("f", 0.0, 10.0), ("g", 500.0, 510.0)], end=520.0
+        )
+        long_b = make_segment(
+            "c", [("f", 0.0, 22.0), ("g", 500.0, 510.0)], end=520.0
+        )
+        metric = Euclidean(0.2)
+        assert metric.match(short_a, [_stored(short_b)]) is None
+        assert metric.match(long_a, [_stored(long_b)]) is not None
+
+    def test_order_attribute(self):
+        assert Manhattan(0.1).order == 1.0
+        assert Euclidean(0.1).order == 2.0
+        assert math.isinf(Chebyshev(0.1).order)

@@ -1,0 +1,141 @@
+"""The paper's worked examples (Section 3.2, Figures 2 and 3), end to end.
+
+These tests pin the implementation to the exact numbers printed in the paper,
+which is the strongest evidence that the similarity metrics are implemented as
+the authors describe them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics.distance import AbsDiff, RelDiff, relative_differences
+from repro.core.metrics.minkowski import Chebyshev, Euclidean, Manhattan
+from repro.core.metrics.vectors import minkowski_vector, wavelet_vector
+from repro.core.metrics.wavelet import AvgWave, HaarWave, average_transform
+from repro.core.reduced import StoredSegment
+
+
+def _stored(segment, segment_id=0):
+    return StoredSegment(segment_id=segment_id, segment=segment)
+
+
+class TestRelDiffExample:
+    """Section 3.2.1: with threshold 0.5, s2 does not match s1 but matches s0."""
+
+    def test_s2_vs_s1_rejected(self, paper_segments):
+        metric = RelDiff(0.5)
+        assert metric.match(paper_segments["s2"], [_stored(paper_segments["s1"])]) is None
+
+    def test_s2_vs_s1_failing_pair_value(self, paper_segments):
+        # do_work end: 17 vs 40 -> 0.58
+        rel = relative_differences(
+            np.asarray(paper_segments["s2"].timestamps()),
+            np.asarray(paper_segments["s1"].timestamps()),
+        )
+        assert rel[1] == pytest.approx(0.575, abs=0.01)
+
+    def test_s2_vs_s0_accepted(self, paper_segments):
+        metric = RelDiff(0.5)
+        chosen = metric.match(paper_segments["s2"], [_stored(paper_segments["s0"])])
+        assert chosen is not None
+
+    def test_s2_vs_s0_max_difference(self, paper_segments):
+        # the paper: "no differences are greater than 0.15 (x1=17, x2=20)"
+        rel = relative_differences(
+            np.asarray(paper_segments["s2"].timestamps()),
+            np.asarray(paper_segments["s0"].timestamps()),
+        )
+        assert rel.max() == pytest.approx(0.15, abs=0.001)
+
+    def test_first_match_wins(self, paper_segments):
+        """The algorithm scans storedSegments in order and keeps the first match."""
+        metric = RelDiff(0.5)
+        stored = [_stored(paper_segments["s0"], 0), _stored(paper_segments["s2"], 1)]
+        chosen = metric.match(paper_segments["s2"], stored)
+        assert chosen.segment_id == 0
+
+
+class TestAbsDiffExample:
+    """Section 3.2.1: with threshold 20, s2 does not match s1 (23 apart) but matches s0."""
+
+    def test_s2_vs_s1_rejected(self, paper_segments):
+        assert AbsDiff(20.0).match(paper_segments["s2"], [_stored(paper_segments["s1"])]) is None
+
+    def test_s2_vs_s0_accepted(self, paper_segments):
+        assert AbsDiff(20.0).match(paper_segments["s2"], [_stored(paper_segments["s0"])]) is not None
+
+    def test_boundary_is_inclusive(self, paper_segments):
+        # the largest |difference| between s2 and s1 is 23
+        assert AbsDiff(23.0).match(paper_segments["s2"], [_stored(paper_segments["s1"])]) is not None
+        assert AbsDiff(22.9).match(paper_segments["s2"], [_stored(paper_segments["s1"])]) is None
+
+
+class TestMinkowskiExample:
+    """Section 3.2.1: distances s2-s1 = 50 / 32.6 / 23 and s2-s0 = 8 / 4.5 / 3."""
+
+    def test_distances_s2_s1(self, paper_segments):
+        s1, s2 = paper_segments["s1"], paper_segments["s2"]
+        assert Manhattan(0.2).distance(s2, s1) == pytest.approx(50.0)
+        assert Euclidean(0.2).distance(s2, s1) == pytest.approx(32.65, abs=0.05)
+        assert Chebyshev(0.2).distance(s2, s1) == pytest.approx(23.0)
+
+    def test_distances_s2_s0(self, paper_segments):
+        s0, s2 = paper_segments["s0"], paper_segments["s2"]
+        assert Manhattan(0.2).distance(s2, s0) == pytest.approx(8.0)
+        assert Euclidean(0.2).distance(s2, s0) == pytest.approx(4.47, abs=0.03)
+        assert Chebyshev(0.2).distance(s2, s0) == pytest.approx(3.0)
+
+    def test_limits(self, paper_segments):
+        s0, s1, s2 = (paper_segments[k] for k in ("s0", "s1", "s2"))
+        # threshold 0.2 × max measurement 51 = 10.2 for the s2/s1 pair
+        assert Manhattan(0.2).limit(s2, s1) == pytest.approx(10.2)
+        # threshold 0.2 × max measurement 50 = 10 for the s2/s0 pair
+        assert Manhattan(0.2).limit(s2, s0) == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("metric_cls", [Manhattan, Euclidean, Chebyshev])
+    def test_s2_does_not_match_s1_but_matches_s0(self, metric_cls, paper_segments):
+        metric = metric_cls(0.2)
+        assert metric.match(paper_segments["s2"], [_stored(paper_segments["s1"])]) is None
+        assert metric.match(paper_segments["s2"], [_stored(paper_segments["s0"])]) is not None
+
+
+class TestWaveletExample:
+    """Figure 3: the average transforms of s0 and s2 and their comparison."""
+
+    def test_average_transform_trends(self, paper_segments):
+        transformed = average_transform(wavelet_vector(paper_segments["s0"]))
+        # final trend 17.625 is the largest coefficient
+        assert transformed[0] == pytest.approx(17.625)
+        assert transformed.max() == pytest.approx(17.625)
+
+    def test_average_transform_s2_final_trend(self, paper_segments):
+        transformed = average_transform(wavelet_vector(paper_segments["s2"]))
+        assert transformed[0] == pytest.approx(16.625)
+
+    def test_intermediate_trends_step3(self, paper_segments):
+        # Figure 3 notes the step-3 trends for s2 are (9, 24.25)
+        vec = wavelet_vector(paper_segments["s2"])
+        level1 = (vec[0::2] + vec[1::2]) / 2.0
+        level2 = (level1[0::2] + level1[1::2]) / 2.0
+        np.testing.assert_allclose(level2, [9.0, 24.25])
+
+    def test_euclidean_distance_of_transforms(self, paper_segments):
+        t0 = average_transform(wavelet_vector(paper_segments["s0"]))
+        t2 = average_transform(wavelet_vector(paper_segments["s2"]))
+        assert float(np.linalg.norm(t0 - t2)) == pytest.approx(1.94, abs=0.05)
+
+    def test_match_limit_and_decision(self, paper_segments):
+        # limit = 0.2 × 17.625 ≈ 3.5 > 1.9, so s0 and s2 match
+        metric = AvgWave(0.2)
+        assert metric.match(paper_segments["s2"], [_stored(paper_segments["s0"])]) is not None
+
+    def test_haar_values_are_sqrt2_times_average(self, paper_segments):
+        """The paper: Haar trends are the average-transform trends × √2 per level."""
+        vec = wavelet_vector(paper_segments["s0"])
+        avg_level1 = (vec[0::2] + vec[1::2]) / 2.0
+        haar = HaarWave(0.2).transformed(paper_segments["s0"])
+        avg = AvgWave(0.2).transformed(paper_segments["s0"])
+        # the finest-level detail coefficients are the last len/2 entries
+        np.testing.assert_allclose(haar[-4:], avg[-4:] * math.sqrt(2.0))

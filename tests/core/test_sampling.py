@@ -1,0 +1,89 @@
+"""Tests for the trace-sampling extension (paper future work)."""
+
+import pytest
+
+from repro.core.reconstruct import reconstruct_rank
+from repro.core.reducer import TraceReducer, reduce_trace
+from repro.core.sampling import PeriodicSampling, RandomSampling
+
+from tests.core.test_reducer import _iteration_segments
+
+
+class TestPeriodicSampling:
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicSampling(0)
+
+    def test_period_one_keeps_everything(self):
+        segments = _iteration_segments([50.0] * 8)
+        reduced = TraceReducer(PeriodicSampling(1)).reduce_segments(segments)
+        assert len(reduced.stored) == 8
+        assert reduced.n_matches == 0
+
+    def test_period_keeps_every_nth(self):
+        segments = _iteration_segments([50.0] * 10)
+        reduced = TraceReducer(PeriodicSampling(4)).reduce_segments(segments)
+        # executions 0, 4, 8 are kept
+        assert len(reduced.stored) == 3
+        assert reduced.n_matches == 7
+
+    def test_first_execution_always_kept(self):
+        segments = _iteration_segments([50.0])
+        reduced = TraceReducer(PeriodicSampling(100)).reduce_segments(segments)
+        assert len(reduced.stored) == 1
+
+    def test_reconstruction_fills_with_latest_sample(self):
+        segments = _iteration_segments([10.0, 20.0, 30.0, 40.0])
+        reduced = TraceReducer(PeriodicSampling(2)).reduce_segments(segments)
+        rebuilt = reconstruct_rank(reduced)
+        # execution 3 (value 40) is filled with the latest kept sample (value 30)
+        assert rebuilt.segments[3].events[0].end == pytest.approx(
+            rebuilt.segments[3].start + 30.0
+        )
+
+    def test_describe(self):
+        assert PeriodicSampling(10).describe() == "sample_period(10)"
+
+
+class TestRandomSampling:
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSampling(1.5)
+
+    def test_rate_one_keeps_everything(self):
+        segments = _iteration_segments([50.0] * 10)
+        reduced = TraceReducer(RandomSampling(1.0, seed=1)).reduce_segments(segments)
+        assert len(reduced.stored) == 10
+
+    def test_rate_zero_keeps_only_first(self):
+        segments = _iteration_segments([50.0] * 10)
+        reduced = TraceReducer(RandomSampling(0.0, seed=1)).reduce_segments(segments)
+        assert len(reduced.stored) == 1
+
+    def test_intermediate_rate_keeps_roughly_that_fraction(self):
+        segments = _iteration_segments([50.0] * 200)
+        reduced = TraceReducer(RandomSampling(0.25, seed=3)).reduce_segments(segments)
+        kept = len(reduced.stored)
+        assert 20 <= kept <= 80  # 200 × 0.25 = 50 expected, generous bounds
+
+    def test_deterministic_for_seed(self):
+        segments = _iteration_segments([50.0] * 30)
+        a = TraceReducer(RandomSampling(0.3, seed=9)).reduce_segments(segments)
+        b = TraceReducer(RandomSampling(0.3, seed=9)).reduce_segments(segments)
+        assert [s.segment_id for s in a.stored] == [s.segment_id for s in b.stored]
+
+
+class TestSamplingOnWorkloads:
+    def test_pipeline_compatible(self, small_dynlb_trace):
+        from repro.core.reconstruct import reconstruct
+        from repro.evaluation.approximation import approximation_distance
+
+        reduced = reduce_trace(small_dynlb_trace, PeriodicSampling(5))
+        rebuilt = reconstruct(reduced)
+        assert rebuilt.num_events == small_dynlb_trace.num_events
+        assert approximation_distance(small_dynlb_trace, rebuilt) >= 0.0
+
+    def test_coarser_sampling_smaller_files(self, small_dynlb_trace):
+        fine = reduce_trace(small_dynlb_trace, PeriodicSampling(2))
+        coarse = reduce_trace(small_dynlb_trace, PeriodicSampling(8))
+        assert coarse.size_bytes() < fine.size_bytes()

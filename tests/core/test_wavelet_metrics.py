@@ -1,0 +1,113 @@
+"""Unit tests for the wavelet-transform metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics.wavelet import AvgWave, HaarWave, average_transform, haar_transform
+from repro.core.reduced import StoredSegment
+
+from tests.conftest import make_segment
+
+
+def _stored(segment, sid=0):
+    return StoredSegment(segment_id=sid, segment=segment)
+
+
+class TestTransforms:
+    def test_single_element_unchanged(self):
+        np.testing.assert_allclose(average_transform(np.array([5.0])), [5.0])
+
+    def test_length_preserved(self):
+        values = np.arange(16, dtype=float)
+        assert average_transform(values).size == 16
+        assert haar_transform(values).size == 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            average_transform(np.arange(6, dtype=float))
+
+    def test_average_transform_known_values(self):
+        # (4, 6, 10, 12): trends (5, 11) -> (8); fluctuations level1 (1, 1), level2 (3)
+        result = average_transform(np.array([4.0, 6.0, 10.0, 12.0]))
+        np.testing.assert_allclose(result, [8.0, 3.0, 1.0, 1.0])
+
+    def test_haar_preserves_energy(self):
+        values = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        transformed = haar_transform(values)
+        assert np.sum(transformed**2) == pytest.approx(np.sum(values**2))
+
+    def test_haar_preserves_euclidean_distance(self):
+        a = np.array([3.0, 1.0, 4.0, 1.0])
+        b = np.array([2.0, 7.0, 1.0, 8.0])
+        original = np.linalg.norm(a - b)
+        transformed = np.linalg.norm(haar_transform(a) - haar_transform(b))
+        assert transformed == pytest.approx(original)
+
+    def test_average_transform_shrinks_values(self):
+        """The paper: average-transform values are smaller than the original
+        values (and smaller than the Haar values)."""
+        values = np.array([10.0, 12.0, 30.0, 28.0])
+        avg = average_transform(values)
+        haar = haar_transform(values)
+        assert np.abs(avg).max() < np.abs(values).max()
+        assert np.abs(haar).max() > np.abs(avg).max()
+
+    def test_dc_component_is_mean(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        assert average_transform(values)[0] == pytest.approx(values.mean())
+
+    def test_empty_vector(self):
+        assert average_transform(np.array([])).size == 0
+
+
+class TestWaveletMatching:
+    def _segments(self, delta):
+        a = make_segment("c", [("f", 1.0, 500.0), ("g", 510.0, 900.0)], end=950.0)
+        b = make_segment(
+            "c", [("f", 1.0, 500.0 + delta), ("g", 510.0 + delta, 900.0 + delta)], end=950.0 + delta
+        )
+        return a, b
+
+    @pytest.mark.parametrize("metric_cls", [AvgWave, HaarWave])
+    def test_identical_match(self, metric_cls):
+        a, _ = self._segments(0.0)
+        assert metric_cls(0.0).match(a, [_stored(a)]) is not None
+
+    @pytest.mark.parametrize("metric_cls", [AvgWave, HaarWave])
+    def test_large_difference_rejected_at_small_threshold(self, metric_cls):
+        a, b = self._segments(400.0)
+        assert metric_cls(0.05).match(a, [_stored(b)]) is None
+
+    @pytest.mark.parametrize("metric_cls", [AvgWave, HaarWave])
+    def test_monotone_in_threshold(self, metric_cls):
+        a, b = self._segments(150.0)
+        thresholds = [0.01, 0.1, 0.4, 1.0]
+        decisions = [metric_cls(t).match(a, [_stored(b)]) is not None for t in thresholds]
+        # once a threshold matches, every larger threshold must match too
+        assert decisions == sorted(decisions)
+
+    def test_avgwave_stricter_than_euclidean_reference(self):
+        """The paper expects the wavelet comparison to be stricter than plain
+        Euclidean because the transformed maximum (the mean, for the average
+        transform) is smaller than the raw maximum used by the Minkowski test;
+        the Haar maximum sits in between because every level is scaled by √2."""
+        a, b = self._segments(100.0)
+        avg_max = max(AvgWave(0.2).transformed(s).max() for s in (a, b))
+        haar_max = max(HaarWave(0.2).transformed(s).max() for s in (a, b))
+        raw_max = max(np.max(np.asarray(a.timestamps())), np.max(np.asarray(b.timestamps())))
+        assert avg_max < raw_max
+        assert avg_max < haar_max
+
+    def test_padding_ablation_changes_vector_but_not_obvious_matches(self):
+        a, b = self._segments(0.5)
+        padded = AvgWave(0.2)
+        truncated = AvgWave(0.2, pad=False)
+        assert padded.transformed(a).size != truncated.transformed(a).size
+        assert padded.match(a, [_stored(b)]) is not None
+        assert truncated.match(a, [_stored(b)]) is not None
+
+    def test_empty_segment_matches_itself(self):
+        seg = make_segment("c", [], end=5.0)
+        assert AvgWave(0.2).match(seg, [_stored(seg)]) is not None

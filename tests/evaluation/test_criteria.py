@@ -1,0 +1,130 @@
+"""Tests for the four evaluation criteria (file size, matching, error, trends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import create_metric
+from repro.core.reconstruct import reconstruct
+from repro.core.reducer import reduce_trace
+from repro.evaluation.approximation import approximation_distance, timestamp_errors
+from repro.evaluation.filesize import full_trace_bytes, percent_file_size
+from repro.evaluation.matching import degree_of_matching
+from repro.evaluation.trends import retains_trends
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+
+class TestPercentFileSize:
+    def test_bounded_and_positive(self, small_late_sender_trace):
+        reduced = reduce_trace(small_late_sender_trace, create_metric("avgWave"))
+        pct = percent_file_size(small_late_sender_trace, reduced)
+        assert 0.0 < pct < 100.0
+
+    def test_no_matches_is_close_to_full_size(self, small_late_sender_trace):
+        """With iter_k larger than the iteration count nothing matches; the
+        reduced representation carries the same measurements plus headers, so
+        its size is comparable to (not dramatically smaller than) the full trace."""
+        reduced = reduce_trace(small_late_sender_trace, create_metric("iter_k", 10_000))
+        pct = percent_file_size(small_late_sender_trace, reduced)
+        assert pct > 50.0
+
+    def test_iter_avg_smallest(self, small_late_sender_trace):
+        sizes = {
+            name: percent_file_size(
+                small_late_sender_trace, reduce_trace(small_late_sender_trace, create_metric(name))
+            )
+            for name in ("relDiff", "iter_k", "iter_avg")
+        }
+        assert sizes["iter_avg"] <= min(sizes.values()) + 1e-9
+
+    def test_empty_trace(self):
+        empty = SegmentedTrace(name="e", ranks=[])
+        reduced = reduce_trace(empty, create_metric("avgWave"))
+        assert percent_file_size(empty, reduced) == 100.0
+        assert full_trace_bytes(empty) == 0
+
+
+class TestDegreeOfMatching:
+    def test_iter_avg_is_one(self, small_late_sender_trace):
+        reduced = reduce_trace(small_late_sender_trace, create_metric("iter_avg"))
+        assert degree_of_matching(reduced) == 1.0
+
+    def test_impossible_matching_counts_as_one(self):
+        empty = SegmentedTrace(name="e", ranks=[SegmentedRankTrace(rank=0, segments=[])])
+        reduced = reduce_trace(empty, create_metric("relDiff"))
+        assert degree_of_matching(reduced) == 1.0
+
+    def test_strict_threshold_lowers_matching(self, small_dynlb_trace):
+        strict = reduce_trace(small_dynlb_trace, create_metric("absDiff", 1.0))
+        loose = reduce_trace(small_dynlb_trace, create_metric("absDiff", 1e6))
+        assert degree_of_matching(strict) < degree_of_matching(loose)
+        assert degree_of_matching(loose) == 1.0
+
+
+class TestApproximationDistance:
+    def test_zero_for_identical_traces(self, small_late_sender_trace):
+        assert approximation_distance(small_late_sender_trace, small_late_sender_trace) == 0.0
+
+    def test_errors_shape(self, small_late_sender_trace):
+        reduced = reduce_trace(small_late_sender_trace, create_metric("avgWave"))
+        rebuilt = reconstruct(reduced)
+        errors = timestamp_errors(small_late_sender_trace, rebuilt)
+        assert errors.size == small_late_sender_trace.timestamps().size
+        assert np.all(errors >= 0.0)
+
+    def test_distance_is_90th_percentile(self, small_late_sender_trace):
+        reduced = reduce_trace(small_late_sender_trace, create_metric("iter_avg"))
+        rebuilt = reconstruct(reduced)
+        errors = timestamp_errors(small_late_sender_trace, rebuilt)
+        expected = float(np.percentile(errors, 90))
+        assert approximation_distance(small_late_sender_trace, rebuilt) == pytest.approx(expected)
+
+    def test_quantile_parameter(self, small_late_sender_trace):
+        reduced = reduce_trace(small_late_sender_trace, create_metric("iter_avg"))
+        rebuilt = reconstruct(reduced)
+        p50 = approximation_distance(small_late_sender_trace, rebuilt, quantile=50)
+        p99 = approximation_distance(small_late_sender_trace, rebuilt, quantile=99)
+        assert p50 <= p99
+
+    def test_rank_count_mismatch_rejected(self, small_late_sender_trace):
+        other = SegmentedTrace(name="x", ranks=small_late_sender_trace.ranks[:2])
+        with pytest.raises(ValueError):
+            approximation_distance(small_late_sender_trace, other)
+
+    def test_structural_mismatch_rejected(self, small_late_sender_trace):
+        truncated = SegmentedTrace(
+            name="x",
+            ranks=[
+                SegmentedRankTrace(rank=r.rank, segments=r.segments[:-1])
+                for r in small_late_sender_trace.ranks
+            ],
+        )
+        with pytest.raises(ValueError, match="structurally identical"):
+            approximation_distance(small_late_sender_trace, truncated)
+
+    def test_looser_threshold_not_more_accurate(self, small_dynlb_trace):
+        """Larger thresholds admit more error (weak monotonicity)."""
+        def distance(threshold):
+            reduced = reduce_trace(small_dynlb_trace, create_metric("absDiff", threshold))
+            return approximation_distance(small_dynlb_trace, reconstruct(reduced))
+
+        assert distance(10.0) <= distance(1e5) + 1e-9
+
+
+class TestRetainsTrends:
+    def test_identical_trace_retains(self, small_late_sender_trace):
+        result = retains_trends(small_late_sender_trace, small_late_sender_trace)
+        assert result.retained
+
+    def test_accepts_precomputed_report(self, small_late_sender_trace):
+        from repro.analysis.expert import analyze
+
+        report = analyze(small_late_sender_trace)
+        result = retains_trends(
+            small_late_sender_trace, small_late_sender_trace, full_report=report
+        )
+        assert result.retained
+
+    def test_reduction_with_reasonable_threshold_retains(self, small_late_sender_trace):
+        reduced = reduce_trace(small_late_sender_trace, create_metric("avgWave"))
+        rebuilt = reconstruct(reduced)
+        assert retains_trends(small_late_sender_trace, rebuilt).retained

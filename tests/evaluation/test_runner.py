@@ -1,0 +1,79 @@
+"""Tests for the study runner."""
+
+import pytest
+
+from repro.benchmarks_ats import late_sender
+from repro.core.metrics import METRIC_NAMES, create_metric
+from repro.evaluation.runner import (
+    EvaluationResult,
+    PreparedWorkload,
+    evaluate_method,
+    evaluate_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return PreparedWorkload.from_workload(late_sender(nprocs=4, iterations=8, seed=2))
+
+
+class TestPreparedWorkload:
+    def test_artifacts_present(self, prepared):
+        assert prepared.name == "late_sender"
+        assert prepared.full_bytes > 0
+        assert prepared.full_report.nprocs == 4
+        assert prepared.segmented.num_segments > 0
+
+
+class TestEvaluateMethod:
+    def test_result_fields(self, prepared):
+        result = evaluate_method(prepared, create_metric("avgWave"))
+        assert isinstance(result, EvaluationResult)
+        assert result.workload == "late_sender"
+        assert result.method == "avgWave"
+        assert result.threshold == 0.2
+        assert 0.0 < result.pct_file_size <= 100.0
+        assert 0.0 <= result.degree_of_matching <= 1.0
+        assert result.approx_distance_us >= 0.0
+        assert result.reduced_bytes < result.full_bytes
+        assert result.n_stored <= result.n_segments
+
+    def test_trend_comparison_attached(self, prepared):
+        result = evaluate_method(prepared, create_metric("relDiff"))
+        assert result.trend_comparison is not None
+        assert result.trend_comparison.retained == result.trends_retained
+
+    def test_comparison_can_be_dropped(self, prepared):
+        result = evaluate_method(prepared, create_metric("relDiff"), keep_comparison=False)
+        assert result.trend_comparison is None
+
+    def test_as_row_length(self, prepared):
+        row = evaluate_method(prepared, create_metric("iter_avg")).as_row()
+        assert len(row) == 7
+        assert row[2] == "-"
+
+
+class TestEvaluateWorkload:
+    def test_all_methods(self):
+        workload = late_sender(nprocs=4, iterations=6, seed=2)
+        results = evaluate_workload(workload, METRIC_NAMES)
+        assert [r.method for r in results] == list(METRIC_NAMES)
+
+    def test_method_spec_forms(self):
+        workload = late_sender(nprocs=4, iterations=6, seed=2)
+        results = evaluate_workload(
+            workload, ["relDiff", ("absDiff", 50.0), create_metric("iter_k", 2)]
+        )
+        assert results[0].threshold == 0.8
+        assert results[1].threshold == 50.0
+        assert results[2].threshold == 2
+
+    def test_invalid_spec_rejected(self):
+        workload = late_sender(nprocs=4, iterations=4, seed=2)
+        with pytest.raises(TypeError):
+            evaluate_workload(workload, [42])
+
+    def test_shared_full_trace_across_methods(self):
+        workload = late_sender(nprocs=4, iterations=6, seed=2)
+        results = evaluate_workload(workload, ["relDiff", "absDiff"])
+        assert results[0].full_bytes == results[1].full_bytes

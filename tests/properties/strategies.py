@@ -1,0 +1,48 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.trace.segments import Segment
+
+from tests.conftest import make_segment
+
+#: Durations in µs, kept well-conditioned (no NaN/inf, bounded magnitude).
+durations = st.floats(min_value=0.5, max_value=50_000.0, allow_nan=False, allow_infinity=False)
+
+#: Power-of-two sized float vectors for wavelet transforms.
+pow2_vectors = st.integers(min_value=0, max_value=5).flatmap(
+    lambda k: st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32),
+        min_size=2**k,
+        max_size=2**k,
+    )
+)
+
+
+@st.composite
+def iteration_segments(draw, min_segments=1, max_segments=12, n_events=2):
+    """Structurally identical segments with varying measurements.
+
+    Models repeated executions of one loop body: every segment has the same
+    context and the same event names, but event durations differ.
+    """
+    count = draw(st.integers(min_value=min_segments, max_value=max_segments))
+    segments: list[Segment] = []
+    clock = 0.0
+    for index in range(count):
+        start = clock
+        t = 0.0
+        events = []
+        for e in range(n_events):
+            gap = draw(durations)
+            length = draw(durations)
+            events.append((f"f{e}", t + gap, t + gap + length))
+            t += gap + length
+        end = t + draw(durations)
+        segments.append(
+            make_segment("main.1", events, start=0.0, end=end, index=index).shifted(start)
+        )
+        clock += end + draw(durations)
+    return segments

@@ -1,0 +1,51 @@
+"""Tests for the machine cost model."""
+
+import pytest
+
+from repro.simulator.machine import MachineModel
+
+
+class TestMachineModel:
+    def test_defaults_valid(self):
+        MachineModel()
+
+    def test_transfer_time_grows_with_bytes(self):
+        m = MachineModel()
+        assert m.transfer_time(10_000) > m.transfer_time(10)
+
+    def test_transfer_time_includes_latency(self):
+        m = MachineModel(latency=7.0, bandwidth=1000.0)
+        assert m.transfer_time(0) == pytest.approx(7.0)
+
+    def test_local_send_cost_positive(self):
+        assert MachineModel().local_send_cost(1024) > 0
+
+    def test_collective_cost_grows_with_ranks(self):
+        m = MachineModel()
+        assert m.collective_cost(32, 0) > m.collective_cost(2, 0)
+
+    def test_collective_cost_single_rank(self):
+        m = MachineModel(collective_base=5.0, collective_log_factor=3.0)
+        assert m.collective_cost(1, 0) == pytest.approx(5.0)
+
+    def test_collective_cost_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            MachineModel().collective_cost(0, 0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(bandwidth=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(latency=-1.0)
+
+
+class TestCostMagnitudes:
+    def test_communication_small_relative_to_millisecond_work(self):
+        """The paper's benchmarks do ~1 ms of work per iteration; the default
+        machine model must keep MPI costs well below that so application
+        imbalance, not the interconnect, dominates the diagnoses."""
+        m = MachineModel()
+        assert m.transfer_time(1024) < 100.0
+        assert m.collective_cost(32, 1024) < 100.0

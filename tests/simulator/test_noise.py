@@ -1,0 +1,92 @@
+"""Tests for the system-interference noise models."""
+
+import pytest
+
+from repro.simulator.noise import NoiseSource, NullNoise, PeriodicNoise, asci_q_noise
+
+
+class TestNoiseSource:
+    def test_counts_firings_in_window(self):
+        source = NoiseSource(period=10.0, duration=1.0, phase=0.0)
+        # fire times 0, 10, 20, ...
+        assert source.firings_in(0.0, 25.0) == 3
+
+    def test_half_open_interval(self):
+        source = NoiseSource(period=10.0, duration=1.0, phase=0.0)
+        assert source.firings_in(0.0, 20.0) == 2  # fires at 0 and 10; 20 excluded
+
+    def test_phase_offset(self):
+        source = NoiseSource(period=10.0, duration=1.0, phase=5.0)
+        assert source.firings_in(0.0, 5.0) == 0
+        assert source.firings_in(0.0, 6.0) == 1
+
+    def test_window_before_phase(self):
+        source = NoiseSource(period=10.0, duration=1.0, phase=100.0)
+        assert source.firings_in(0.0, 50.0) == 0
+
+    def test_empty_window(self):
+        source = NoiseSource(period=10.0, duration=1.0)
+        assert source.firings_in(5.0, 5.0) == 0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSource(period=0.0, duration=1.0)
+
+
+class TestNullNoise:
+    def test_always_zero(self):
+        noise = NullNoise()
+        assert noise.extra_delay(0, 0.0, 1000.0) == 0.0
+        assert noise.extra_delay(5, 1e9, 1.0) == 0.0
+
+
+class TestPeriodicNoise:
+    def test_extra_delay_accumulates_sources(self):
+        noise = PeriodicNoise([[NoiseSource(10.0, 2.0, 0.0), NoiseSource(100.0, 50.0, 0.0)]])
+        # window [0, 100): source A fires 10 times (20 µs), source B once (50 µs)
+        assert noise.extra_delay(0, 0.0, 100.0) == pytest.approx(10 * 2.0 + 50.0)
+
+    def test_zero_duration_no_delay(self):
+        noise = PeriodicNoise([[NoiseSource(10.0, 2.0, 0.0)]])
+        assert noise.extra_delay(0, 0.0, 0.0) == 0.0
+
+    def test_unknown_rank_rejected(self):
+        noise = PeriodicNoise([[NoiseSource(10.0, 2.0, 0.0)]])
+        with pytest.raises(IndexError):
+            noise.extra_delay(3, 0.0, 10.0)
+
+    def test_nprocs(self):
+        assert PeriodicNoise([[], []]).nprocs == 2
+
+
+class TestAsciQNoise:
+    def test_builds_sources_for_every_rank(self):
+        noise = asci_q_noise(8, 32, seed=1)
+        assert noise.nprocs == 8
+        assert all(len(noise.sources_for(r)) > 0 for r in range(8))
+
+    def test_larger_machine_has_stronger_noise(self):
+        small = asci_q_noise(8, 32, seed=1)
+        large = asci_q_noise(8, 1024, seed=1)
+        small_total = sum(s.duration for s in small.sources_for(0))
+        large_total = sum(s.duration for s in large.sources_for(0))
+        assert large_total > small_total
+
+    def test_phases_differ_between_ranks(self):
+        noise = asci_q_noise(4, 32, seed=1)
+        phases0 = [s.phase for s in noise.sources_for(0)]
+        phases1 = [s.phase for s in noise.sources_for(1)]
+        assert phases0 != phases1
+
+    def test_deterministic_for_seed(self):
+        a = asci_q_noise(4, 32, seed=9)
+        b = asci_q_noise(4, 32, seed=9)
+        assert [s.phase for s in a.sources_for(2)] == [s.phase for s in b.sources_for(2)]
+
+    def test_rejects_more_ranks_than_simulated(self):
+        with pytest.raises(ValueError):
+            asci_q_noise(64, 32)
+
+    def test_rejects_non_positive_nprocs(self):
+        with pytest.raises(ValueError):
+            asci_q_noise(0, 32)

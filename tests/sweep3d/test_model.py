@@ -1,0 +1,98 @@
+"""Tests for the Sweep3D wavefront application model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expert import analyze
+from repro.analysis.patterns import LATE_SENDER
+from repro.sweep3d.model import Sweep3DParams, sweep3d, sweep3d_32p, sweep3d_8p
+
+
+SMALL = Sweep3DParams(nx=8, ny=8, nz=8, px=2, py=2, mk=4, timesteps=2, cost_per_cell=0.05)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        params = Sweep3DParams()
+        assert params.nprocs == 8
+        assert params.kb == 5
+
+    def test_local_extents_ceiling(self):
+        params = Sweep3DParams(nx=50, ny=50, nz=50, px=3, py=4)
+        assert params.it == 17
+        assert params.jt == 13
+
+    def test_mk_larger_than_nz_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep3DParams(nz=4, mk=8)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep3DParams(nx=0)
+
+
+class TestProgramStructure:
+    def test_nprocs_from_decomposition(self):
+        workload = sweep3d(SMALL)
+        assert workload.nprocs == 4
+
+    def test_segment_contexts(self):
+        trace = sweep3d(SMALL, seed=1).run_segmented()
+        contexts = {s.context for s in trace.rank(0).segments}
+        assert contexts == {"init", "sweep.1", "sweep.1.1", "sweep.1.2", "final"}
+
+    def test_kblock_segment_count(self):
+        trace = sweep3d(SMALL, seed=1).run_segmented()
+        kblocks = [s for s in trace.rank(0).segments if s.context == "sweep.1.1"]
+        # 8 octants × kb blocks × timesteps
+        assert len(kblocks) == 8 * SMALL.kb * SMALL.timesteps
+
+    def test_corner_rank_has_fewer_messages_than_interior(self):
+        params = Sweep3DParams(nx=9, ny=9, nz=6, px=3, py=3, mk=3, timesteps=1, cost_per_cell=0.05)
+        trace = sweep3d(params, seed=1).run_segmented()
+        def msg_count(rank):
+            return sum(1 for e in trace.rank(rank).events() if e.name in ("pmpi_send", "pmpi_recv"))
+        corner = msg_count(0)          # coordinates (0, 0)
+        interior = msg_count(4)        # coordinates (1, 1)
+        assert interior > corner
+
+    def test_message_parameters_differ_between_ranks(self):
+        """Different ranks send to different peers, which limits possible matches
+        (the effect the paper observes for sweep3d)."""
+        trace = sweep3d(SMALL, seed=1).run_segmented()
+        def structures(rank):
+            return {s.structure() for s in trace.rank(rank).segments if s.context == "sweep.1.1"}
+        assert structures(0) != structures(3)
+
+    def test_wavefront_creates_recv_waits(self):
+        report = analyze(sweep3d(SMALL, seed=1).run_segmented())
+        assert report.total(LATE_SENDER, "pmpi_recv") > 0.0
+
+    def test_deterministic(self):
+        a = sweep3d(SMALL, seed=2).run_segmented().timestamps()
+        b = sweep3d(SMALL, seed=2).run_segmented().timestamps()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPaperConfigurations:
+    def test_sweep3d_8p_decomposition(self):
+        workload = sweep3d_8p(scale=0.2, timesteps=1)
+        assert workload.nprocs == 8
+        assert workload.name == "sweep3d_8p"
+
+    def test_sweep3d_32p_decomposition(self):
+        workload = sweep3d_32p(scale=0.1, timesteps=1)
+        assert workload.nprocs == 32
+        assert workload.name == "sweep3d_32p"
+
+    def test_scale_changes_work_not_structure(self):
+        """Scaling shrinks the grid (less compute) but keeps the loop structure,
+        so the event count is unchanged while the runtime shrinks."""
+        small = sweep3d_8p(scale=0.2, timesteps=1).run_segmented()
+        larger = sweep3d_8p(scale=0.4, timesteps=1).run_segmented()
+        assert larger.num_events == small.num_events
+        assert larger.duration() > small.duration()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            sweep3d_8p(scale=0.0)

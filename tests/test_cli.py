@@ -1,0 +1,69 @@
+"""Tests for the repro-trace command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "not_a_workload"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "smoke", "list"])
+        assert args.scale == "smoke"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "late_sender" in out
+        assert "avgWave" in out
+        assert "smoke" in out
+
+    def test_describe(self, capsys):
+        code, out = run_cli(capsys, "--scale", "smoke", "describe", "dyn_load_balance")
+        assert code == 0
+        assert "MPI_Alltoall" in out
+        assert "processes" in out
+
+    def test_evaluate(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "evaluate", "late_sender", "--methods", "avgWave", "iter_avg"
+        )
+        assert code == 0
+        assert "avgWave" in out and "iter_avg" in out
+        assert "% file size" in out
+
+    def test_thresholds(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "thresholds", "absDiff", "--workloads", "late_sender"
+        )
+        assert code == 0
+        assert "threshold" in out
+        assert out.count("late_sender") >= 6
+
+    def test_trends(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "trends", "late_sender", "--methods", "iter_avg", "relDiff"
+        )
+        assert code == 0
+        assert "relDiff" in out and "iter_avg" in out
+
+    def test_figure_fig7(self, capsys):
+        code, out = run_cli(capsys, "--scale", "smoke", "figure", "fig7")
+        assert code == 0
+        assert "MPI_Alltoall" in out
+        assert "full trace" in out

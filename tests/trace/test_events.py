@@ -1,0 +1,78 @@
+"""Tests for events and MPI call metadata."""
+
+import pytest
+
+from repro.trace.events import ALL_OPS, COLLECTIVE_OPS, P2P_OPS, Event, MpiCallInfo
+
+
+class TestMpiCallInfo:
+    def test_collective_classification(self):
+        info = MpiCallInfo(op="barrier")
+        assert info.is_collective
+        assert not info.is_p2p
+
+    def test_p2p_classification(self):
+        info = MpiCallInfo(op="send", peer=1, tag=0)
+        assert info.is_p2p
+        assert not info.is_collective
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown MPI operation"):
+            MpiCallInfo(op="frobnicate")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            MpiCallInfo(op="send", peer=0, nbytes=-1)
+
+    def test_key_is_hashable_and_stable(self):
+        a = MpiCallInfo(op="send", peer=1, tag=2, nbytes=100)
+        b = MpiCallInfo(op="send", peer=1, tag=2, nbytes=100)
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+    def test_key_differs_on_parameters(self):
+        a = MpiCallInfo(op="send", peer=1, tag=2)
+        b = MpiCallInfo(op="send", peer=2, tag=2)
+        assert a.key() != b.key()
+
+    def test_op_sets_are_disjoint_and_cover_all(self):
+        assert COLLECTIVE_OPS & P2P_OPS == frozenset()
+        assert COLLECTIVE_OPS | P2P_OPS == ALL_OPS
+
+    def test_frozen(self):
+        info = MpiCallInfo(op="barrier")
+        with pytest.raises(AttributeError):
+            info.op = "bcast"
+
+
+class TestEvent:
+    def test_duration(self):
+        event = Event(name="f", start=1.0, end=3.5)
+        assert event.duration == pytest.approx(2.5)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="before start"):
+            Event(name="f", start=2.0, end=1.0)
+
+    def test_is_mpi(self):
+        assert not Event(name="f", start=0, end=1).is_mpi
+        assert Event(name="f", start=0, end=1, mpi=MpiCallInfo(op="barrier")).is_mpi
+
+    def test_structure_ignores_timestamps(self):
+        a = Event(name="f", start=0, end=1)
+        b = Event(name="f", start=10, end=20)
+        assert a.structure() == b.structure()
+
+    def test_structure_distinguishes_mpi_parameters(self):
+        a = Event(name="MPI_Send", start=0, end=1, mpi=MpiCallInfo(op="send", peer=1))
+        b = Event(name="MPI_Send", start=0, end=1, mpi=MpiCallInfo(op="send", peer=2))
+        assert a.structure() != b.structure()
+
+    def test_shifted(self):
+        event = Event(name="f", start=1.0, end=2.0)
+        moved = event.shifted(10.0)
+        assert (moved.start, moved.end) == (11.0, 12.0)
+        assert (event.start, event.end) == (1.0, 2.0), "original unchanged"
+
+    def test_timestamps(self):
+        assert Event(name="f", start=1.0, end=2.0).timestamps() == (1.0, 2.0)

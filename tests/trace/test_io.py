@@ -1,0 +1,120 @@
+"""Tests for trace serialization and file-size accounting."""
+
+import pytest
+
+from repro.benchmarks_ats import late_sender
+from repro.trace.events import MpiCallInfo
+from repro.trace.io import (
+    format_record,
+    parse_record,
+    read_trace,
+    reduced_trace_size_bytes,
+    segmented_trace_size_bytes,
+    serialize_exec_entry,
+    serialize_records,
+    serialize_segment,
+    serialize_segment_as_records,
+    trace_size_bytes,
+    write_trace,
+)
+from repro.trace.records import RecordKind, TraceRecord
+
+from tests.conftest import make_segment
+
+
+def _record(mpi=None):
+    return TraceRecord(kind=RecordKind.ENTER, rank=2, timestamp=123.456, name="MPI_Send", mpi=mpi)
+
+
+class TestRecordRoundTrip:
+    def test_plain_record(self):
+        record = TraceRecord(kind=RecordKind.EXIT, rank=1, timestamp=7.0, name="do_work")
+        parsed = parse_record(format_record(record))
+        assert parsed.kind is RecordKind.EXIT
+        assert parsed.rank == 1
+        assert parsed.name == "do_work"
+        assert parsed.timestamp == pytest.approx(7.0)
+
+    def test_mpi_record(self):
+        mpi = MpiCallInfo(op="send", peer=3, tag=7, nbytes=4096)
+        parsed = parse_record(format_record(_record(mpi)))
+        assert parsed.mpi == mpi
+
+    def test_rooted_collective_record(self):
+        mpi = MpiCallInfo(op="bcast", root=0, nbytes=128)
+        parsed = parse_record(format_record(_record(mpi)))
+        assert parsed.mpi == mpi
+
+    def test_timestamp_precision(self):
+        record = TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=0.123, name="f")
+        parsed = parse_record(format_record(record))
+        assert parsed.timestamp == pytest.approx(0.12, abs=1e-9)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_record("ENTER 0 1.0")
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            parse_record("ENTER 0 1.00 MPI_Send send bogus=1")
+
+
+class TestSizes:
+    def test_serialize_records_counts_every_record(self):
+        records = [
+            TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=1.0, name="f"),
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=2.0, name="f"),
+        ]
+        data = serialize_records(records)
+        assert data.count(b"\n") == 2
+
+    def test_segment_serialization_has_header_and_events(self, paper_segments):
+        data = serialize_segment(paper_segments["s0"], segment_id=7)
+        text = data.decode()
+        assert text.startswith("SEG 7 main.1")
+        assert text.count("\nEV ") + text.startswith("EV ") == 2
+
+    def test_exec_entry_small(self):
+        assert len(serialize_exec_entry(3, 123.0)) < 30
+
+    def test_reduced_size_smaller_than_full(self, paper_segments):
+        segments = list(paper_segments.values())
+        full = sum(len(serialize_segment_as_records(s)) for s in segments)
+        reduced = reduced_trace_size_bytes(
+            [(0, segments[0])], [(0, 0.0), (0, 60.0), (0, 120.0)]
+        )
+        assert reduced < full
+
+    def test_trace_size_consistent_with_segmented_size(self):
+        workload = late_sender(nprocs=4, iterations=4, seed=2)
+        trace = workload.run()
+        raw = trace_size_bytes(trace)
+        segmented = segmented_trace_size_bytes(trace.segmented())
+        # Same records, same format: sizes agree exactly.
+        assert raw == segmented
+
+
+class TestFileRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        workload = late_sender(nprocs=4, iterations=3, seed=2)
+        trace = workload.run()
+        path = tmp_path / "trace.txt"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.nprocs == trace.nprocs
+        assert sum(len(r.records) for r in loaded.ranks) == trace.num_records
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert read_trace(path).nprocs == 0
+
+    def test_loaded_trace_segments_identically(self, tmp_path):
+        workload = late_sender(nprocs=4, iterations=3, seed=2)
+        trace = workload.run()
+        path = tmp_path / "trace.txt"
+        write_trace(trace, path)
+        original = trace.segmented()
+        loaded = read_trace(path).segmented()
+        assert loaded.num_segments == original.num_segments
+        assert loaded.num_events == original.num_events

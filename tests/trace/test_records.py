@@ -1,0 +1,31 @@
+"""Tests for raw trace records."""
+
+import pytest
+
+from repro.trace.events import MpiCallInfo
+from repro.trace.records import RecordKind, TraceRecord
+
+
+class TestTraceRecord:
+    def test_basic_construction(self):
+        record = TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=1.0, name="f")
+        assert record.kind is RecordKind.ENTER
+        assert record.name == "f"
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=-1.0, name="f")
+
+    def test_mpi_only_on_enter(self):
+        info = MpiCallInfo(op="barrier")
+        TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=0.0, name="MPI_Barrier", mpi=info)
+        with pytest.raises(ValueError, match="ENTER"):
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=0.0, name="MPI_Barrier", mpi=info)
+
+    def test_frozen(self):
+        record = TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=0.0, name="f")
+        with pytest.raises(AttributeError):
+            record.timestamp = 5.0
+
+    def test_record_kinds_distinct(self):
+        assert len({k.value for k in RecordKind}) == 4

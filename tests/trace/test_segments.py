@@ -1,0 +1,160 @@
+"""Tests for segments and segmentation of record streams."""
+
+import pytest
+
+from repro.trace.events import MpiCallInfo
+from repro.trace.records import RecordKind, TraceRecord
+from repro.trace.segments import Segment, SegmentationError, segment_rank_records, structural_key
+
+from tests.conftest import make_segment
+
+
+def _rec(kind, t, name, rank=0, mpi=None):
+    return TraceRecord(kind=kind, rank=rank, timestamp=t, name=name, mpi=mpi)
+
+
+def _valid_stream(rank=0):
+    """init segment with one MPI_Init event, then one main.1 iteration."""
+    return [
+        _rec(RecordKind.SEGMENT_BEGIN, 0.0, "init", rank),
+        _rec(RecordKind.ENTER, 1.0, "MPI_Init", rank, MpiCallInfo(op="barrier")),
+        _rec(RecordKind.EXIT, 2.0, "MPI_Init", rank),
+        _rec(RecordKind.SEGMENT_END, 2.0, "init", rank),
+        _rec(RecordKind.SEGMENT_BEGIN, 2.0, "main.1", rank),
+        _rec(RecordKind.ENTER, 3.0, "do_work", rank),
+        _rec(RecordKind.EXIT, 9.0, "do_work", rank),
+        _rec(RecordKind.SEGMENT_END, 9.5, "main.1", rank),
+    ]
+
+
+class TestSegment:
+    def test_duration_and_counts(self, paper_segments):
+        s0 = paper_segments["s0"]
+        assert s0.duration == 50.0
+        assert s0.num_events == 2
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(context="c", rank=0, start=5.0, end=4.0)
+
+    def test_timestamps_layout(self, paper_segments):
+        # event start/end pairs then segment end
+        assert paper_segments["s2"].timestamps() == [1.0, 17.0, 18.0, 48.0, 49.0]
+
+    def test_relative_to_start(self):
+        seg = make_segment("c", [("f", 11.0, 12.0)], start=10.0, end=13.0)
+        rel = seg.relative_to_start()
+        assert rel.start == 0.0
+        assert rel.end == 3.0
+        assert rel.events[0].start == pytest.approx(1.0)
+        # original untouched
+        assert seg.events[0].start == 11.0
+
+    def test_shifted_round_trip(self):
+        seg = make_segment("c", [("f", 1.0, 2.0)], start=0.0, end=3.0)
+        assert seg.shifted(5.0).shifted(-5.0).timestamps() == seg.timestamps()
+
+    def test_structure_equal_for_same_shape(self, paper_segments):
+        assert paper_segments["s0"].structure() == paper_segments["s1"].structure()
+        assert structural_key(paper_segments["s0"]) == structural_key(paper_segments["s2"])
+
+    def test_structure_differs_on_context(self):
+        a = make_segment("main.1", [("f", 0.0, 1.0)], end=2.0)
+        b = make_segment("main.2", [("f", 0.0, 1.0)], end=2.0)
+        assert a.structure() != b.structure()
+
+    def test_structure_differs_on_event_order(self):
+        a = make_segment("c", [("f", 0.0, 1.0), ("g", 1.0, 2.0)], end=3.0)
+        b = make_segment("c", [("g", 0.0, 1.0), ("f", 1.0, 2.0)], end=3.0)
+        assert a.structure() != b.structure()
+
+    def test_structure_differs_on_mpi_parameters(self):
+        a = make_segment("c", [("MPI_Send", 0.0, 1.0)], end=2.0,
+                         mpi_for={"MPI_Send": MpiCallInfo(op="send", peer=1)})
+        b = make_segment("c", [("MPI_Send", 0.0, 1.0)], end=2.0,
+                         mpi_for={"MPI_Send": MpiCallInfo(op="send", peer=2)})
+        assert a.structure() != b.structure()
+
+    def test_with_rank(self):
+        seg = make_segment("c", [("f", 0.0, 1.0)], end=2.0)
+        moved = seg.with_rank(3)
+        assert moved.rank == 3
+        assert moved.events[0].rank == 3
+        assert seg.rank == 0
+
+
+class TestSegmentation:
+    def test_valid_stream(self):
+        segments = segment_rank_records(_valid_stream())
+        assert [s.context for s in segments] == ["init", "main.1"]
+        assert segments[0].events[0].name == "MPI_Init"
+        assert segments[0].events[0].mpi is not None
+        assert segments[1].events[0].name == "do_work"
+        assert segments[1].start == 2.0 and segments[1].end == 9.5
+
+    def test_indices_assigned_in_order(self):
+        segments = segment_rank_records(_valid_stream())
+        assert [s.index for s in segments] == [0, 1]
+
+    def test_empty_stream(self):
+        assert segment_rank_records([]) == []
+
+    def test_event_outside_segment_rejected(self):
+        records = [_rec(RecordKind.ENTER, 0.0, "f"), _rec(RecordKind.EXIT, 1.0, "f")]
+        with pytest.raises(SegmentationError, match="outside any segment"):
+            segment_rank_records(records)
+
+    def test_nested_segments_rejected(self):
+        records = [
+            _rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"),
+            _rec(RecordKind.SEGMENT_BEGIN, 1.0, "b"),
+        ]
+        with pytest.raises(SegmentationError, match="nest"):
+            segment_rank_records(records)
+
+    def test_unclosed_segment_rejected(self):
+        records = [_rec(RecordKind.SEGMENT_BEGIN, 0.0, "a")]
+        with pytest.raises(SegmentationError, match="never closed"):
+            segment_rank_records(records)
+
+    def test_mismatched_segment_end_rejected(self):
+        records = [
+            _rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"),
+            _rec(RecordKind.SEGMENT_END, 1.0, "b"),
+        ]
+        with pytest.raises(SegmentationError, match="does not match"):
+            segment_rank_records(records)
+
+    def test_exit_without_enter_rejected(self):
+        records = [
+            _rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"),
+            _rec(RecordKind.EXIT, 1.0, "f"),
+        ]
+        with pytest.raises(SegmentationError, match="without an enter"):
+            segment_rank_records(records)
+
+    def test_unclosed_event_rejected(self):
+        records = [
+            _rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"),
+            _rec(RecordKind.ENTER, 1.0, "f"),
+            _rec(RecordKind.SEGMENT_END, 2.0, "a"),
+        ]
+        with pytest.raises(SegmentationError, match="inside open event"):
+            segment_rank_records(records)
+
+    def test_mixed_ranks_rejected(self):
+        records = [
+            _rec(RecordKind.SEGMENT_BEGIN, 0.0, "a", rank=0),
+            _rec(RecordKind.SEGMENT_END, 1.0, "a", rank=1),
+        ]
+        with pytest.raises(SegmentationError, match="mixes ranks"):
+            segment_rank_records(records)
+
+    def test_mismatched_exit_name_rejected(self):
+        records = [
+            _rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"),
+            _rec(RecordKind.ENTER, 1.0, "f"),
+            _rec(RecordKind.EXIT, 2.0, "g"),
+        ]
+        with pytest.raises(SegmentationError, match="does not match open event"):
+            segment_rank_records(records)

@@ -1,0 +1,76 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_ats import late_sender
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+from tests.conftest import make_segment
+
+
+class TestRawTrace:
+    def test_simulated_trace_shape(self):
+        workload = late_sender(nprocs=4, iterations=3, seed=1)
+        trace = workload.run()
+        assert trace.nprocs == 4
+        assert trace.num_records > 0
+        assert trace.rank(0).rank == 0
+
+    def test_rank_out_of_range(self):
+        trace = late_sender(nprocs=4, iterations=2, seed=1).run()
+        with pytest.raises(IndexError):
+            trace.rank(4)
+
+    def test_segmented_preserves_rank_count(self):
+        trace = late_sender(nprocs=4, iterations=2, seed=1).run()
+        segmented = trace.segmented()
+        assert segmented.nprocs == 4
+
+
+class TestSegmentedTrace:
+    def _make(self):
+        ranks = []
+        for rank in range(2):
+            segments = [
+                make_segment("init", [("MPI_Init", 0.0, 1.0)], start=0.0, end=1.0, rank=rank),
+                make_segment("main.1", [("do_work", 2.0, 3.0)], start=2.0, end=4.0, rank=rank,
+                             index=1),
+            ]
+            ranks.append(SegmentedRankTrace(rank=rank, segments=segments))
+        return SegmentedTrace(name="t", ranks=ranks)
+
+    def test_counts(self):
+        trace = self._make()
+        assert trace.num_segments == 4
+        assert trace.num_events == 4
+        assert trace.nprocs == 2
+
+    def test_timestamps_layout(self):
+        trace = self._make()
+        rank0 = trace.rank(0)
+        ts = rank0.timestamps()
+        # per segment: start, event start/end pairs, segment end
+        expected = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 4.0]
+        np.testing.assert_allclose(ts, expected)
+
+    def test_trace_timestamps_concatenates_ranks(self):
+        trace = self._make()
+        assert trace.timestamps().size == 2 * trace.rank(0).timestamps().size
+
+    def test_duration(self):
+        assert self._make().duration() == 4.0
+
+    def test_empty_trace(self):
+        trace = SegmentedTrace(name="empty", ranks=[])
+        assert trace.duration() == 0.0
+        assert trace.timestamps().size == 0
+
+    def test_rank_events_in_order(self):
+        rank0 = self._make().rank(0)
+        names = [e.name for e in rank0.events()]
+        assert names == ["MPI_Init", "do_work"]
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._make().rank(5)
