@@ -1,0 +1,106 @@
+"""Serial vs parallel reduction wall time (the pipeline subsystem's bench).
+
+Times the plain serial :class:`TraceReducer` against the streaming parallel
+:class:`ReductionPipeline` on a multi-rank workload at the smoke and default
+scales, verifies the outputs are byte-identical, and writes the measurements
+to ``BENCH_pipeline.json`` at the repository root (plus the usual
+``results/`` table).
+
+Speedup is hardware-dependent — a process pool cannot beat the serial path on
+a single-CPU runner — so the recorded ``cpu_count`` is part of the result and
+the test only *asserts* equivalence, never a minimum speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from support import RESULTS_DIR, emit, run_once
+
+from repro.core.metrics import create_metric
+from repro.core.reducer import TraceReducer
+from repro.experiments.config import build_workload, get_scale
+from repro.pipeline.engine import PipelineConfig, ReductionPipeline
+from repro.trace.io import serialize_reduced_trace
+from repro.util.tables import format_table
+
+BENCH_PATH = RESULTS_DIR.parent / "BENCH_pipeline.json"
+
+WORKLOAD = "sweep3d_32p"  # 32 ranks; the heaviest multi-rank workload
+METHOD = "haarWave"  # the most compute-intensive similarity method
+
+
+def _time_reduction(segmented, reducer) -> tuple[float, bytes]:
+    started = time.perf_counter()
+    reduced = reducer(segmented)
+    elapsed = time.perf_counter() - started
+    return elapsed, serialize_reduced_trace(reduced)
+
+
+def _compare_at_scale(scale_name: str) -> dict:
+    scale = get_scale(scale_name)
+    segmented = build_workload(WORKLOAD, scale).run_segmented()
+    workers = os.cpu_count() or 1
+    config = PipelineConfig(executor="process", workers=workers)
+
+    serial_seconds, serial_bytes = _time_reduction(
+        segmented, lambda t: TraceReducer(create_metric(METHOD)).reduce(t)
+    )
+    parallel_seconds, parallel_bytes = _time_reduction(
+        segmented,
+        lambda t: ReductionPipeline(create_metric(METHOD), config).reduce(t).reduced,
+    )
+    assert parallel_bytes == serial_bytes, "pipeline output diverged from serial reducer"
+    return {
+        "scale": scale_name,
+        "n_ranks": segmented.nprocs,
+        "n_segments": segmented.num_segments,
+        "executor": config.executor,
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "speedup": round(serial_seconds / parallel_seconds, 4) if parallel_seconds else None,
+        "identical_output": True,
+    }
+
+
+def _run_comparison() -> dict:
+    return {
+        "workload": WORKLOAD,
+        "method": METHOD,
+        "cpu_count": os.cpu_count() or 1,
+        "scales": {name: _compare_at_scale(name) for name in ("smoke", "default")},
+    }
+
+
+def test_pipeline_speedup(benchmark):
+    report = run_once(benchmark, _run_comparison)
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        [
+            entry["scale"],
+            entry["n_ranks"],
+            entry["n_segments"],
+            f"{entry['serial_seconds']:.4f}",
+            f"{entry['parallel_seconds']:.4f}",
+            f"{entry['speedup']:.2f}x",
+        ]
+        for entry in report["scales"].values()
+    ]
+    emit(
+        "BENCH_pipeline",
+        format_table(
+            ["scale", "ranks", "segments", "serial s", "parallel s", "speedup"],
+            rows,
+            title=(
+                f"serial vs parallel reduction — {WORKLOAD}/{METHOD} "
+                f"(process pool, {report['cpu_count']} cpus)"
+            ),
+        ),
+    )
+    for entry in report["scales"].values():
+        assert entry["identical_output"]
+        assert entry["serial_seconds"] > 0 and entry["parallel_seconds"] > 0

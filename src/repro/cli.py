@@ -8,6 +8,8 @@ pipeline without writing any Python:
 * ``repro-trace thresholds <method>``        — the threshold study for one method
 * ``repro-trace trends <workload>``          — the retention-of-trends table
 * ``repro-trace figure <fig5|fig6|fig7|fig8>`` — regenerate a comparative figure
+* ``repro-trace pipeline <workload>``        — streaming parallel reduction with
+  per-stage instrumentation (executor/worker/store options)
 
 All commands accept ``--scale {smoke,default,paper}`` (default: the
 ``REPRO_SCALE`` environment variable, falling back to ``default``).
@@ -19,7 +21,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.metrics import METRIC_NAMES, THRESHOLD_STUDY
+from repro.core.metrics import METRIC_NAMES, THRESHOLD_STUDY, create_metric
+from repro.core.reducer import TraceReducer
 from repro.experiments.comparative import (
     comparative_study,
     fig5_size_and_matching,
@@ -35,9 +38,31 @@ from repro.experiments.formatting import (
 )
 from repro.experiments.thresholds import threshold_study_rows
 from repro.experiments.trend_tables import trend_table
+from repro.pipeline.engine import EXECUTORS, PipelineConfig, ReductionPipeline
+from repro.trace.io import serialize_reduced_trace, write_reduced_trace
 from repro.util.tables import format_table
 
 __all__ = ["main", "build_parser"]
+
+
+class _UsageError(Exception):
+    """Bad argument *values* that argparse choices can't express.
+
+    Raised only at argument-construction sites so that genuine internal
+    errors keep their tracebacks instead of masquerading as usage errors.
+    """
+
+
+class _VerificationFailed(Exception):
+    """``pipeline --verify`` found a serial/pipeline mismatch.
+
+    Carries the rendered report so the caller can still print it; the
+    process exits non-zero so scripted callers can gate on the flag.
+    """
+
+    def __init__(self, report: str):
+        super().__init__("pipeline output does not match the serial reducer")
+        self.report = report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +113,42 @@ def build_parser() -> argparse.ArgumentParser:
     describe = sub.add_parser("describe", help="describe one workload without running it")
     describe.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
 
+    pipeline = sub.add_parser(
+        "pipeline", help="streaming parallel reduction with per-stage instrumentation"
+    )
+    pipeline.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
+    pipeline.add_argument(
+        "--method", choices=METRIC_NAMES, default="relDiff", help="similarity method"
+    )
+    pipeline.add_argument(
+        "--threshold", type=float, default=None, help="method threshold (default: paper's best)"
+    )
+    pipeline.add_argument(
+        "--executor", choices=EXECUTORS, default="process", help="worker pool flavour"
+    )
+    pipeline.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+    pipeline.add_argument(
+        "--store-capacity",
+        type=int,
+        default=None,
+        help="bound the per-rank representative store (LRU eviction; default: unbounded)",
+    )
+    pipeline.add_argument(
+        "--merge",
+        action="store_true",
+        help="run the inter-process merge (cross-rank representative dedup) final stage",
+    )
+    pipeline.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the serial reducer and check the outputs are byte-identical",
+    )
+    pipeline.add_argument(
+        "--output", default=None, help="stream the reduced trace to this file"
+    )
+
     return parser
 
 
@@ -133,6 +194,57 @@ def _cmd_trends(workload_name: str, methods: Optional[Sequence[str]], scale) -> 
     )
 
 
+def _cmd_pipeline(args, scale) -> str:
+    from repro.evaluation.filesize import full_trace_bytes
+
+    # Validate argument values before the expensive trace generation.
+    try:
+        metric = create_metric(args.method, args.threshold)
+        config = PipelineConfig(
+            executor=args.executor,
+            workers=args.workers,
+            store_capacity=args.store_capacity,
+            merge=args.merge,
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+    workload = build_workload(args.workload, scale)
+    segmented = workload.run_segmented()
+    result = ReductionPipeline(metric, config).reduce(segmented)
+
+    full_bytes = full_trace_bytes(segmented)
+    reduced_bytes = result.reduced.size_bytes()
+    rows = [
+        ["workload", args.workload],
+        ["method", metric.describe()],
+        *result.stats.rows(),
+        ["full trace bytes", full_bytes],
+        ["reduced trace bytes", reduced_bytes],
+        ["% file size", f"{100.0 * reduced_bytes / full_bytes:.2f}" if full_bytes else "-"],
+    ]
+    if result.merged is not None:
+        rows.append(["merged trace bytes", result.merged.size_bytes()])
+    identical = True
+    if args.verify:
+        serial = TraceReducer(create_metric(args.method, args.threshold)).reduce(segmented)
+        identical = serialize_reduced_trace(serial) == serialize_reduced_trace(result.reduced)
+        rows.append(["matches serial reducer", "yes" if identical else "NO"])
+    if args.output:
+        if identical:
+            written = write_reduced_trace(result.reduced, args.output)
+            rows.append(["written to", f"{args.output} ({written} bytes)"])
+        else:
+            rows.append(["written to", "(skipped: verification failed)"])
+    report = format_table(
+        ["property", "value"],
+        rows,
+        title=f"pipeline reduction — {args.workload} (scale={scale.name})",
+    )
+    if not identical:
+        raise _VerificationFailed(report)
+    return report
+
+
 def _cmd_figure(which: str, scale) -> str:
     if which == "fig5":
         return format_rows(fig5_size_and_matching(scale=scale), title="Figure 5")
@@ -151,6 +263,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
 
+    try:
+        output = _dispatch(args, scale, parser)
+    except _UsageError as error:
+        parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    except _VerificationFailed as failure:
+        print(failure.report)
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+def _dispatch(args, scale, parser) -> str:
     if args.command == "list":
         output = _cmd_list()
     elif args.command == "describe":
@@ -163,11 +289,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = _cmd_trends(args.workload, args.methods, scale)
     elif args.command == "figure":
         output = _cmd_figure(args.which, scale)
+    elif args.command == "pipeline":
+        output = _cmd_pipeline(args, scale)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
-        return 2
-    print(output)
-    return 0
+    return output
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,18 +7,58 @@ in the same order, same message-passing parameters.  The similarity metric
 decides whether the measurements match; on a match only the ``(segment id,
 start time)`` execution entry is recorded, otherwise the segment itself is
 stored as a new representative.
+
+The reducer consumes segments one at a time from any iterable, so it composes
+with the streaming readers in :mod:`repro.pipeline.stream` without the whole
+trace being materialized.  The candidate-list bookkeeping can be delegated to
+a pluggable representative store (see :mod:`repro.pipeline.store`) — anything
+with ``candidates(key)`` / ``add(key, stored)`` — which is how the pipeline
+bounds reducer memory; with no store the historical inline dictionary is used.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Optional, Protocol, Sequence, Tuple
 
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
 from repro.trace.segments import Segment
 from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
 
-__all__ = ["TraceReducer", "reduce_trace"]
+__all__ = ["TraceReducer", "reduce_trace", "SegmentStore"]
+
+
+class SegmentStore(Protocol):
+    """What the reducer needs from a representative store (duck-typed)."""
+
+    def candidates(self, key: tuple) -> Sequence[StoredSegment]: ...
+
+    def add(self, key: tuple, stored: StoredSegment) -> None: ...
+
+
+class _InlineStore:
+    """The reducer's historical unbounded candidate dictionary.
+
+    Also the storage layer of :class:`repro.pipeline.store.UnboundedStore`,
+    which subclasses it to add lookup counters — the unbounded semantics are
+    implemented exactly once.
+    """
+
+    __slots__ = ("_by_key", "_size")
+
+    def __init__(self) -> None:
+        self._by_key: dict[tuple, list[StoredSegment]] = {}
+        self._size = 0
+
+    def candidates(self, key: tuple) -> Sequence[StoredSegment]:
+        return self._by_key.get(key, ())
+
+    def add(self, key: tuple, stored: StoredSegment) -> None:
+        self._by_key.setdefault(key, []).append(stored)
+        self._size += 1
+
+    def __len__(self) -> int:
+        return self._size
 
 
 class TraceReducer:
@@ -37,21 +77,34 @@ class TraceReducer:
 
     # -- per-rank reduction ---------------------------------------------------
 
-    def reduce_rank(self, rank_trace: SegmentedRankTrace) -> ReducedRankTrace:
+    def reduce_rank(
+        self, rank_trace: SegmentedRankTrace, *, store: Optional[SegmentStore] = None
+    ) -> ReducedRankTrace:
         """Reduce one rank's segment list."""
-        return self.reduce_segments(rank_trace.segments, rank=rank_trace.rank)
+        return self.reduce_segments(rank_trace.segments, rank=rank_trace.rank, store=store)
 
-    def reduce_segments(self, segments: Sequence[Segment], *, rank: int = 0) -> ReducedRankTrace:
-        """Reduce an explicit list of segments (used directly by unit tests)."""
+    def reduce_segments(
+        self,
+        segments: Iterable[Segment],
+        *,
+        rank: int = 0,
+        store: Optional[SegmentStore] = None,
+    ) -> ReducedRankTrace:
+        """Reduce a segment stream (list, generator, or any iterable).
+
+        Segments are consumed one at a time; memory is bounded by the
+        representative store, not the input length.
+        """
         reduced = ReducedRankTrace(rank=rank)
-        stored_by_key: dict[tuple, list[StoredSegment]] = {}
+        if store is None:
+            store = _InlineStore()
         next_id = 0
 
         for segment in segments:
             reduced.n_segments += 1
             relative = segment.relative_to_start()
             key = relative.structure()
-            candidates = stored_by_key.setdefault(key, [])
+            candidates = store.candidates(key)
             if candidates:
                 reduced.n_possible_matches += 1
             chosen = self.metric.match(relative, candidates) if candidates else None
@@ -63,7 +116,7 @@ class TraceReducer:
             else:
                 stored_segment = StoredSegment(segment_id=next_id, segment=relative)
                 next_id += 1
-                candidates.append(stored_segment)
+                store.add(key, stored_segment)
                 reduced.stored.append(stored_segment)
                 reduced.execs.append((stored_segment.segment_id, segment.start))
                 reduced.exec_matched.append(False)
@@ -73,13 +126,31 @@ class TraceReducer:
 
     def reduce(self, trace: SegmentedTrace) -> ReducedTrace:
         """Reduce every rank of ``trace`` independently (intra-process reduction)."""
+        return self.reduce_streams(
+            trace.name, ((rank.rank, rank.segments) for rank in trace.ranks)
+        )
+
+    def reduce_streams(
+        self,
+        name: str,
+        streams: Iterable[Tuple[int, Iterable[Segment]]],
+        *,
+        store_factory=None,
+    ) -> ReducedTrace:
+        """Reduce ``(rank, segment stream)`` pairs serially, in stream order.
+
+        ``store_factory`` builds one representative store per rank (e.g.
+        ``lambda: LRUStore(1000)``); with None each rank gets the unbounded
+        inline dictionary.
+        """
         reduced = ReducedTrace(
-            name=trace.name,
+            name=name,
             method=self.metric.name,
             threshold=self.metric.threshold,
         )
-        for rank_trace in trace.ranks:
-            reduced.ranks.append(self.reduce_rank(rank_trace))
+        for rank, segments in streams:
+            store = store_factory() if store_factory is not None else None
+            reduced.ranks.append(self.reduce_segments(segments, rank=rank, store=store))
         return reduced
 
 

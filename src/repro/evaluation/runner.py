@@ -21,6 +21,7 @@ from repro.core.metrics.base import SimilarityMetric
 from repro.core.reconstruct import reconstruct
 from repro.core.reduced import ReducedTrace
 from repro.core.reducer import TraceReducer
+from repro.pipeline.engine import PipelineConfig, ReductionPipeline
 from repro.evaluation.approximation import approximation_distance
 from repro.evaluation.filesize import full_trace_bytes
 from repro.evaluation.trends import retains_trends
@@ -93,9 +94,23 @@ def evaluate_method(
     *,
     comparison_options: Optional[ComparisonOptions] = None,
     keep_comparison: bool = True,
+    backend: str = "serial",
+    pipeline_config: Optional[PipelineConfig] = None,
 ) -> EvaluationResult:
-    """Run one similarity metric over a prepared workload."""
-    reduced: ReducedTrace = TraceReducer(metric).reduce(prepared.segmented)
+    """Run one similarity metric over a prepared workload.
+
+    ``backend="serial"`` reduces with the plain :class:`TraceReducer`;
+    ``backend="pipeline"`` routes the reduction through the streaming
+    parallel pipeline (``pipeline_config`` selects executor/workers/store).
+    Both backends produce identical criteria — the pipeline's ordering is
+    deterministic and its default store is unbounded.
+    """
+    if backend == "serial":
+        reduced: ReducedTrace = TraceReducer(metric).reduce(prepared.segmented)
+    elif backend == "pipeline":
+        reduced = ReductionPipeline(metric, pipeline_config).reduce(prepared.segmented).reduced
+    else:
+        raise ValueError(f"backend must be 'serial' or 'pipeline', got {backend!r}")
     reconstructed = reconstruct(reduced)
     reduced_bytes = reduced.size_bytes()
     pct = 100.0 * reduced_bytes / prepared.full_bytes if prepared.full_bytes else 100.0
@@ -127,18 +142,27 @@ def evaluate_workload(
     methods: Iterable[str | SimilarityMetric | tuple[str, float]],
     *,
     comparison_options: Optional[ComparisonOptions] = None,
+    backend: str = "serial",
+    pipeline_config: Optional[PipelineConfig] = None,
 ) -> list[EvaluationResult]:
     """Evaluate several methods on one workload.
 
     ``methods`` may contain metric names (paper default thresholds), metric
-    instances, or ``(name, threshold)`` pairs.
+    instances, or ``(name, threshold)`` pairs.  ``backend``/``pipeline_config``
+    are forwarded to :func:`evaluate_method`.
     """
     prepared = PreparedWorkload.from_workload(workload)
     results = []
     for spec in methods:
         metric = _resolve_metric(spec)
         results.append(
-            evaluate_method(prepared, metric, comparison_options=comparison_options)
+            evaluate_method(
+                prepared,
+                metric,
+                comparison_options=comparison_options,
+                backend=backend,
+                pipeline_config=pipeline_config,
+            )
         )
     return results
 

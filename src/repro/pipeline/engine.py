@@ -1,0 +1,320 @@
+"""Parallel reduction engine: fan per-rank reduction out over a worker pool.
+
+Intra-process reduction (Section 3.1) is embarrassingly parallel across ranks
+— each rank's representative table is private — so the engine dispatches one
+reduction task per rank to a :mod:`concurrent.futures` pool and reassembles
+the per-rank results **in rank-stream order**.  Because the per-rank algorithm
+is untouched and ordering is restored deterministically, the pipeline's output
+serializes byte-identically to the serial :class:`~repro.core.reducer.TraceReducer`
+path (the equivalence tests assert exactly that, for every similarity metric).
+
+Executors
+---------
+``serial``
+    No pool: each rank's stream is fed straight into the reducer, one segment
+    at a time.  Memory is bounded by the representative store; this is the
+    right mode for huge traces on small machines.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Cheap to start and
+    shares memory, but similarity matching is mostly pure Python, so threads
+    mainly help when metrics spend their time in NumPy.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` (the default).  Each
+    worker builds its own representative store, so metric state never crosses
+    rank boundaries — the same isolation the serial path provides.  For
+    in-memory sources on platforms with ``fork``, the trace is shared with the
+    workers copy-on-write and tasks carry only a rank index (zero-copy
+    dispatch); otherwise rank payloads are pickled to the workers.
+
+Pooled executors that pickle payloads throttle submission to a bounded
+in-flight window so that a trace with thousands of ranks never has every
+rank's segment list materialized at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.metrics.base import SimilarityMetric
+from repro.core.reduced import ReducedRankTrace, ReducedTrace
+from repro.core.reducer import TraceReducer
+from repro.pipeline.stats import PipelineStats, time_stage
+from repro.pipeline.store import StoreCounters, create_store
+from repro.pipeline.stream import SegmentSource, rank_segment_streams, source_name
+from repro.trace.segments import iter_segments
+from repro.trace.trace import SegmentedRankTrace, SegmentedTrace, Trace
+from repro.trace.merge import MergedReducedTrace, merge_reduced_trace
+
+__all__ = ["PipelineConfig", "PipelineResult", "ReductionPipeline", "reduce_pipeline"]
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """How a :class:`ReductionPipeline` runs.
+
+    Attributes
+    ----------
+    executor:
+        ``"serial"``, ``"thread"``, or ``"process"`` (see module docstring).
+    workers:
+        Pool size; ``None`` means ``os.cpu_count()`` (ignored by ``serial``).
+    store_capacity:
+        Bound on representatives kept per rank (:class:`~repro.pipeline.store.LRUStore`);
+        ``None`` keeps the unbounded, byte-identical default.
+    merge:
+        Run the inter-process merge (cross-rank representative dedup) as a
+        final stage.
+    max_pending:
+        In-flight rank tasks for pooled executors; ``None`` means
+        ``2 * workers``.  Bounds how many ranks' segment lists exist at once.
+    """
+
+    executor: str = "process"
+    workers: Optional[int] = None
+    store_capacity: Optional[int] = None
+    merge: bool = False
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.store_capacity is not None and self.store_capacity < 1:
+            raise ValueError(f"store_capacity must be >= 1, got {self.store_capacity}")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+
+    def resolved_workers(self) -> int:
+        if self.executor == "serial":
+            return 1
+        return self.workers or os.cpu_count() or 1
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    reduced: ReducedTrace
+    stats: PipelineStats
+    merged: Optional[MergedReducedTrace] = None
+
+
+def _reduce_rank_task(
+    metric: SimilarityMetric,
+    rank: int,
+    segments,
+    store_capacity: Optional[int],
+) -> tuple[ReducedRankTrace, StoreCounters]:
+    """One worker task: reduce a single rank with its own store.
+
+    Module-level so process pools can pickle it; the pickled ``metric`` gives
+    every rank a private metric instance, mirroring serial semantics (metrics
+    hold no cross-rank state).
+    """
+    store = create_store(store_capacity)
+    reduced = TraceReducer(metric).reduce_segments(segments, rank=rank, store=store)
+    return reduced, store.counters
+
+
+#: In-memory trace inherited by fork()ed workers (set around pool creation).
+#: Fork children see the parent's memory copy-on-write, so rank payloads never
+#: cross a pickle boundary — tasks carry only a rank *index*.  The lock
+#: serialises concurrent fork-path runs in one process: the global must stay
+#: published until every worker has forked.
+_FORK_SOURCE: Optional[SegmentSource] = None
+_FORK_LOCK = threading.Lock()
+
+
+def _reduce_fork_task(
+    metric: SimilarityMetric,
+    position: int,
+    store_capacity: Optional[int],
+) -> tuple[ReducedRankTrace, StoreCounters]:
+    """Worker task for the fork-shared path: look the rank up by index.
+
+    For a raw :class:`Trace` source the worker also does the segmentation, so
+    that stage parallelises too.
+    """
+    rank_trace = _FORK_SOURCE.ranks[position]
+    if isinstance(rank_trace, SegmentedRankTrace):
+        segments = rank_trace.segments
+    else:
+        segments = iter_segments(rank_trace.records)
+    return _reduce_rank_task(metric, rank_trace.rank, segments, store_capacity)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ReductionPipeline:
+    """Streaming, parallel intra-process reduction with instrumentation."""
+
+    def __init__(self, metric: SimilarityMetric, config: Optional[PipelineConfig] = None):
+        if not isinstance(metric, SimilarityMetric):
+            raise TypeError(
+                f"metric must be a SimilarityMetric, got {type(metric).__name__}"
+            )
+        self.metric = metric
+        self.config = config or PipelineConfig()
+
+    # -- public API -----------------------------------------------------------
+
+    def reduce(self, source: SegmentSource, *, name: Optional[str] = None) -> PipelineResult:
+        """Reduce any segment source (trace, segmented trace, or file path)."""
+        config = self.config
+        stats = PipelineStats(executor=config.executor, workers=config.resolved_workers())
+        started = time.perf_counter()
+
+        if config.executor == "serial":
+            ranks = self._reduce_serial(rank_segment_streams(source), stats)
+        elif (
+            config.executor == "process"
+            and isinstance(source, (SegmentedTrace, Trace))
+            and _fork_available()
+        ):
+            ranks = self._reduce_forked(source, stats)
+        else:
+            ranks = self._reduce_pooled(rank_segment_streams(source), stats)
+
+        reduced = ReducedTrace(
+            name=name or source_name(source),
+            method=self.metric.name,
+            threshold=self.metric.threshold,
+            ranks=ranks,
+        )
+
+        merged: Optional[MergedReducedTrace] = None
+        if config.merge:
+            with time_stage(stats, "merge"):
+                merged = merge_reduced_trace(reduced)
+            stats.merged_stored = merged.n_stored
+            stats.merged_duplicates = merged.n_duplicates
+
+        stats.nprocs = reduced.nprocs
+        stats.n_segments = reduced.n_segments
+        stats.n_stored = reduced.n_stored
+        stats.n_matches = reduced.n_matches
+        stats.n_possible_matches = reduced.n_possible_matches
+        stats.total_seconds = time.perf_counter() - started
+        return PipelineResult(reduced=reduced, stats=stats, merged=merged)
+
+    # -- executor strategies ---------------------------------------------------
+
+    def _reduce_serial(self, streams, stats: PipelineStats) -> list[ReducedRankTrace]:
+        """Feed each rank's stream straight into the reducer (bounded memory)."""
+        ranks: list[ReducedRankTrace] = []
+        with time_stage(stats, "reduce"):
+            for rank, segments in streams:
+                reduced_rank, counters = _reduce_rank_task(
+                    self.metric, rank, segments, self.config.store_capacity
+                )
+                ranks.append(reduced_rank)
+                stats.store = stats.store.merged_with(counters)
+        return ranks
+
+    def _reduce_forked(
+        self, source: SegmentedTrace | Trace, stats: PipelineStats
+    ) -> list[ReducedRankTrace]:
+        """Process pool over a fork-shared in-memory trace (zero-copy dispatch).
+
+        The source is published in a module global before the pool starts, so
+        fork()ed workers inherit it copy-on-write and each task ships only a
+        rank index; only the (much smaller) reduced results cross the pickle
+        boundary.  Falls back to :meth:`_reduce_pooled` pickling on platforms
+        without fork and for file sources.
+        """
+        global _FORK_SOURCE
+        config = self.config
+        workers = min(config.resolved_workers(), max(1, len(source.ranks)))
+        results: list[tuple[ReducedRankTrace, StoreCounters]] = []
+        with _FORK_LOCK:
+            _FORK_SOURCE = source
+            try:
+                with time_stage(stats, "reduce"):
+                    context = multiprocessing.get_context("fork")
+                    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                        futures = [
+                            pool.submit(
+                                _reduce_fork_task, self.metric, position, config.store_capacity
+                            )
+                            for position in range(len(source.ranks))
+                        ]
+                        results = [future.result() for future in futures]
+            finally:
+                _FORK_SOURCE = None
+
+        ranks: list[ReducedRankTrace] = []
+        for reduced_rank, counters in results:
+            ranks.append(reduced_rank)
+            stats.store = stats.store.merged_with(counters)
+        return ranks
+
+    def _reduce_pooled(self, streams, stats: PipelineStats) -> list[ReducedRankTrace]:
+        """Fan rank tasks out over a pool, keeping results in stream order."""
+        config = self.config
+        workers = config.resolved_workers()
+        window = config.max_pending or 2 * workers
+        results: dict[int, tuple[ReducedRankTrace, StoreCounters]] = {}
+        pending: dict = {}
+
+        def drain(return_when: str) -> None:
+            done, _ = wait(pending, return_when=return_when)
+            for future in done:
+                results[pending.pop(future)] = future.result()
+
+        with self._make_executor(workers) as pool:
+            with time_stage(stats, "reduce"):
+                n_streams = 0
+                for position, (rank, segments) in enumerate(streams):
+                    n_streams += 1
+                    # Pooled tasks need the rank's segments materialized for
+                    # submission; the window bounds how many exist at once.
+                    with time_stage(stats, "ingest"):
+                        payload = segments if isinstance(segments, list) else list(segments)
+                    future = pool.submit(
+                        _reduce_rank_task, self.metric, rank, payload, config.store_capacity
+                    )
+                    pending[future] = position
+                    while len(pending) >= window:
+                        drain(FIRST_COMPLETED)
+                while pending:
+                    drain(FIRST_COMPLETED)
+        # The ingest spans are nested inside the reduce span; report them
+        # disjointly so the per-stage numbers add up to the total.
+        if "ingest" in stats.stage_seconds:
+            stats.stage_seconds["reduce"] -= stats.stage_seconds["ingest"]
+
+        ranks: list[ReducedRankTrace] = []
+        for position in range(n_streams):
+            reduced_rank, counters = results[position]
+            ranks.append(reduced_rank)
+            stats.store = stats.store.merged_with(counters)
+        return ranks
+
+    def _make_executor(self, workers: int) -> Executor:
+        if self.config.executor == "thread":
+            return ThreadPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers)
+
+
+def reduce_pipeline(
+    source: SegmentSource,
+    metric: SimilarityMetric,
+    config: Optional[PipelineConfig] = None,
+    *,
+    name: Optional[str] = None,
+) -> PipelineResult:
+    """Convenience wrapper: ``ReductionPipeline(metric, config).reduce(source)``."""
+    return ReductionPipeline(metric, config).reduce(source, name=name)

@@ -1,0 +1,84 @@
+"""Pipeline instrumentation: per-stage wall time, throughput, match rate.
+
+Every pipeline run produces one :class:`PipelineStats`.  Stage timings are
+accumulated with :func:`time_stage`; counters are filled in by the engine from
+the per-rank reduction results and store counters.  ``rows()`` renders the
+stats as (property, value) pairs for the CLI's table formatter.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.pipeline.store import StoreCounters
+
+__all__ = ["PipelineStats", "time_stage"]
+
+#: Stage keys in reporting order.
+STAGES = ("ingest", "reduce", "merge")
+
+
+@dataclass(slots=True)
+class PipelineStats:
+    """Instrumentation of one pipeline run."""
+
+    executor: str
+    workers: int
+    nprocs: int = 0
+    n_segments: int = 0
+    n_stored: int = 0
+    n_matches: int = 0
+    n_possible_matches: int = 0
+    merged_stored: int = 0
+    merged_duplicates: int = 0
+    stage_seconds: dict = field(default_factory=dict)
+    total_seconds: float = 0.0
+    store: StoreCounters = field(default_factory=StoreCounters)
+
+    @property
+    def match_rate(self) -> float:
+        """Matches / possible matches (the degree-of-matching criterion)."""
+        if self.n_possible_matches == 0:
+            return 1.0
+        return self.n_matches / self.n_possible_matches
+
+    @property
+    def segments_per_second(self) -> float:
+        """End-to-end throughput of the run."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.n_segments / self.total_seconds
+
+    def rows(self) -> list[list]:
+        """(property, value) rows for the CLI table."""
+        rows: list[list] = [
+            ["executor", f"{self.executor} x{self.workers}"],
+            ["ranks", self.nprocs],
+            ["segments", self.n_segments],
+            ["stored representatives", self.n_stored],
+            ["match rate", f"{self.match_rate:.4f}"],
+            ["store hits / lookups", f"{self.store.hits} / {self.store.lookups}"],
+            ["store evictions", self.store.evictions],
+        ]
+        if self.merged_stored or self.merged_duplicates:
+            rows.append(["merged representatives", self.merged_stored])
+            rows.append(["cross-rank duplicates", self.merged_duplicates])
+        for stage in STAGES:
+            if stage in self.stage_seconds:
+                rows.append([f"{stage} wall time (s)", f"{self.stage_seconds[stage]:.4f}"])
+        rows.append(["total wall time (s)", f"{self.total_seconds:.4f}"])
+        rows.append(["segments / second", f"{self.segments_per_second:,.0f}"])
+        return rows
+
+
+@contextmanager
+def time_stage(stats: PipelineStats, stage: str):
+    """Accumulate the wall time of the enclosed block into ``stats``."""
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started
+        stats.stage_seconds[stage] = stats.stage_seconds.get(stage, 0.0) + elapsed

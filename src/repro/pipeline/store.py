@@ -1,0 +1,171 @@
+"""Representative stores: the per-key candidate lists behind the reducer.
+
+The serial reducer keeps an unbounded ``dict`` mapping each segment's
+structural key to the list of stored representatives with that structure.  At
+large rank counts and long traces that dictionary is the reducer's entire
+memory footprint, so the pipeline makes it pluggable:
+
+* :class:`UnboundedStore` — exactly the dictionary the reducer always kept;
+  the default, and byte-identical to the historical behaviour.
+* :class:`LRUStore` — a bounded store with configurable capacity (counted in
+  stored representatives) and least-recently-used eviction at structural-key
+  granularity.
+
+Eviction never removes a representative from the *output* (segments already
+emitted stay emitted; the reduced trace remains valid); it only removes the
+representative from the match-candidate set, so later executions of an evicted
+pattern store a fresh representative instead of matching.  Bounded stores
+therefore trade a little compression for a hard memory ceiling.
+
+Both stores count lookups, hits, misses, and evictions so the pipeline can
+report candidate-store behaviour per run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.core.reduced import StoredSegment
+from repro.core.reducer import _InlineStore
+
+__all__ = ["StoreCounters", "RepresentativeStore", "UnboundedStore", "LRUStore", "create_store"]
+
+_EMPTY: tuple[StoredSegment, ...] = ()
+
+
+@dataclass(slots=True)
+class StoreCounters:
+    """Lookup/eviction counters of one representative store."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def merged_with(self, other: "StoreCounters") -> "StoreCounters":
+        """Combine counters from two stores (used to aggregate across ranks)."""
+        return StoreCounters(
+            lookups=self.lookups + other.lookups,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups; 1.0 when nothing was looked up."""
+        return self.hits / self.lookups if self.lookups else 1.0
+
+
+class RepresentativeStore:
+    """Interface the reducer talks to instead of its inline dictionary.
+
+    ``candidates(key)`` returns the representatives that share the key's
+    structure (possibly empty) and counts the lookup; ``add(key, stored)``
+    registers a new representative under the key.  Implementations must keep
+    each key's candidate list in insertion order — the paper's algorithm
+    matches against representatives in the order they were first stored.
+    """
+
+    def __init__(self) -> None:
+        self.counters = StoreCounters()
+
+    def candidates(self, key: Hashable) -> Sequence[StoredSegment]:
+        raise NotImplementedError
+
+    def add(self, key: Hashable, stored: StoredSegment) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of representatives currently retained as match candidates."""
+        raise NotImplementedError
+
+
+class UnboundedStore(_InlineStore, RepresentativeStore):
+    """The historical unbounded per-key candidate dictionary, plus counters.
+
+    The storage semantics live in the reducer's :class:`_InlineStore` (the
+    serial default); this class only layers the lookup counters on top, so
+    the "byte-identical default path" behaviour has exactly one
+    implementation.
+    """
+
+    def __init__(self) -> None:
+        RepresentativeStore.__init__(self)
+        _InlineStore.__init__(self)
+
+    def candidates(self, key: Hashable) -> Sequence[StoredSegment]:
+        self.counters.lookups += 1
+        found = _InlineStore.candidates(self, key)
+        if found:
+            self.counters.hits += 1
+        else:
+            self.counters.misses += 1
+        return found
+
+
+class LRUStore(RepresentativeStore):
+    """Bounded store: at most ``capacity`` representatives, LRU-evicted.
+
+    Recency is tracked per structural key (a lookup or insertion touches the
+    key); when an insertion pushes the total representative count over
+    ``capacity``, whole least-recently-used key buckets are evicted until the
+    store fits again.  When everything lives under a single key (homogeneous
+    traces — the hot path bounded stores exist for), the oldest
+    representatives of that bucket are trimmed instead, so the capacity is a
+    hard ceiling either way.  Candidate lists always remain in insertion
+    order, as the matching algorithm's first-match semantics require.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRUStore capacity must be >= 1, got {capacity}")
+        super().__init__()
+        self.capacity = int(capacity)
+        self._by_key: OrderedDict[Hashable, list[StoredSegment]] = OrderedDict()
+        self._size = 0
+
+    def candidates(self, key: Hashable) -> Sequence[StoredSegment]:
+        self.counters.lookups += 1
+        found = self._by_key.get(key)
+        if found:
+            self._by_key.move_to_end(key)
+            self.counters.hits += 1
+            return found
+        self.counters.misses += 1
+        return _EMPTY
+
+    def add(self, key: Hashable, stored: StoredSegment) -> None:
+        bucket = self._by_key.get(key)
+        if bucket is None:
+            bucket = self._by_key[key] = []
+        else:
+            self._by_key.move_to_end(key)
+        bucket.append(stored)
+        self._size += 1
+        while self._size > self.capacity:
+            if len(self._by_key) > 1:
+                _, evicted = self._by_key.popitem(last=False)
+                self._size -= len(evicted)
+                self.counters.evictions += len(evicted)
+            else:
+                # Everything lives under one structural key (the homogeneous
+                # hot path); trim its oldest representatives so the capacity
+                # really is a hard ceiling.
+                excess = self._size - self.capacity
+                del bucket[:excess]
+                self._size -= excess
+                self.counters.evictions += excess
+
+    def __len__(self) -> int:
+        return self._size
+
+
+def create_store(capacity: int | None = None) -> RepresentativeStore:
+    """Build the store a pipeline worker should use.
+
+    ``capacity=None`` means unbounded (the byte-identical default path).
+    """
+    return UnboundedStore() if capacity is None else LRUStore(capacity)

@@ -1,0 +1,66 @@
+"""Streaming ingestion: uniform per-rank segment streams from any source.
+
+The pipeline engine consumes ``(rank, segment iterator)`` pairs.  This module
+produces them from the three places a trace can live:
+
+* an in-memory :class:`~repro.trace.trace.SegmentedTrace` (already segmented);
+* an in-memory raw :class:`~repro.trace.trace.Trace` (segmented lazily);
+* a trace file on disk (parsed *and* segmented lazily, line by line, via the
+  chunked readers in :mod:`repro.trace.io` — the whole trace is never
+  materialized).
+
+Segments are produced one at a time by :func:`repro.trace.segments.iter_segments`,
+so a consumer that also processes them one at a time (the serial executor
+path) runs in memory bounded by the largest single segment plus the
+representative store.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.trace.io import iter_rank_record_streams
+from repro.trace.segments import Segment, iter_segments
+from repro.trace.trace import SegmentedTrace, Trace
+
+__all__ = ["SegmentSource", "rank_segment_streams", "source_name"]
+
+#: Anything the pipeline can ingest.
+SegmentSource = Union[SegmentedTrace, Trace, str, Path]
+
+
+def rank_segment_streams(
+    source: SegmentSource,
+) -> Iterator[Tuple[int, Iterable[Segment]]]:
+    """Yield ``(rank, segment stream)`` pairs for any supported source.
+
+    Streams are yielded in rank order (the order ranks appear in the trace).
+    For file sources each rank's stream must be consumed before advancing to
+    the next pair (the underlying reader is a single forward pass).
+    """
+    if isinstance(source, SegmentedTrace):
+        for rank_trace in source.ranks:
+            # Already materialized: yield the list itself so consumers that
+            # need a sequence (the pooled engine path) need not copy it.
+            yield rank_trace.rank, rank_trace.segments
+    elif isinstance(source, Trace):
+        for rank_trace in source.ranks:
+            yield rank_trace.rank, iter_segments(rank_trace.records)
+    elif isinstance(source, (str, Path)):
+        for rank, records in iter_rank_record_streams(source):
+            yield rank, iter_segments(records)
+    else:
+        raise TypeError(
+            "segment source must be a SegmentedTrace, a Trace, or a trace file "
+            f"path; got {type(source).__name__}"
+        )
+
+
+def source_name(source: SegmentSource) -> str:
+    """Best-effort trace name for a source (file stem for paths)."""
+    if isinstance(source, (SegmentedTrace, Trace)):
+        return source.name
+    return Path(source).stem
+
+

@@ -18,12 +18,17 @@ cost of a timestamp is comparable in both representations.
 from __future__ import annotations
 
 import io as _io
+import itertools
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.trace.events import Event, MpiCallInfo
 from repro.trace.records import RecordKind, TraceRecord
 from repro.trace.segments import Segment
+
+if TYPE_CHECKING:  # avoid a runtime cycle: core.reduced imports this module
+    from repro.core.reduced import ReducedRankTrace, ReducedTrace
+
 from repro.trace.trace import SegmentedTrace, Trace
 
 __all__ = [
@@ -37,6 +42,11 @@ __all__ = [
     "reduced_trace_size_bytes",
     "write_trace",
     "read_trace",
+    "iter_trace_records",
+    "iter_rank_record_streams",
+    "iter_reduced_rank_chunks",
+    "serialize_reduced_trace",
+    "write_reduced_trace",
 ]
 
 _TS_FMT = "{:.2f}"
@@ -197,6 +207,86 @@ def write_trace(trace: Trace, path: str | Path) -> None:
     with path.open("wb") as handle:
         for rank_trace in trace.ranks:
             handle.write(serialize_records(rank_trace.records))
+
+
+def iter_trace_records(path: str | Path) -> Iterator[TraceRecord]:
+    """Lazily parse a trace file record by record.
+
+    The streaming counterpart of :func:`read_trace`: the file is read line by
+    line, so memory stays bounded no matter how large the trace is.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            yield parse_record(line)
+
+
+def iter_rank_record_streams(
+    path: str | Path,
+) -> Iterator[tuple[int, Iterator[TraceRecord]]]:
+    """Yield ``(rank, record iterator)`` pairs from a trace file, lazily.
+
+    :func:`write_trace` concatenates ranks, so each rank's records form one
+    contiguous run; this reader exposes each run as its own iterator without
+    materializing it.  Like :func:`itertools.groupby`, each rank's iterator
+    must be consumed before advancing to the next pair.  A rank appearing in
+    two separate runs means the file was not produced by :func:`write_trace`
+    and is rejected.
+    """
+    seen: set[int] = set()
+    for rank, records in itertools.groupby(iter_trace_records(path), key=lambda r: r.rank):
+        if rank in seen:
+            raise ValueError(
+                f"trace file {path} interleaves rank {rank}; per-rank records "
+                "must be contiguous for streaming ingestion"
+            )
+        seen.add(rank)
+        yield rank, records
+
+
+def iter_reduced_rank_chunks(reduced_rank: "ReducedRankTrace") -> Iterator[bytes]:
+    """Serialize one reduced rank as a stream of small byte chunks.
+
+    Chunk granularity is one stored segment or one execution entry, so
+    writers never hold more than one segment's serialization in memory.  The
+    concatenated chunks are exactly the bytes counted by
+    :meth:`ReducedRankTrace.size_bytes`.
+    """
+    for stored in reduced_rank.stored:
+        yield serialize_segment(stored.segment, segment_id=stored.segment_id)
+    for segment_id, start in reduced_rank.execs:
+        yield serialize_exec_entry(segment_id, start)
+
+
+def serialize_reduced_trace(reduced: "ReducedTrace") -> bytes:
+    """Canonical serialization of a whole reduced trace (ranks in order).
+
+    Used by the pipeline's equivalence checks: two reductions are considered
+    identical iff these bytes are identical.
+    """
+    return b"".join(
+        chunk for rank in reduced.ranks for chunk in iter_reduced_rank_chunks(rank)
+    )
+
+
+def write_reduced_trace(reduced: "ReducedTrace", path: str | Path) -> int:
+    """Write a reduced trace to ``path`` incrementally; returns bytes written.
+
+    The streaming counterpart of building :func:`serialize_reduced_trace` in
+    memory: chunks go straight to the file handle, one stored segment or
+    execution entry at a time.
+    """
+    path = Path(path)
+    written = 0
+    with path.open("wb") as handle:
+        for rank in reduced.ranks:
+            for chunk in iter_reduced_rank_chunks(rank):
+                handle.write(chunk)
+                written += len(chunk)
+    return written
 
 
 def read_trace(path: str | Path, name: str | None = None) -> Trace:

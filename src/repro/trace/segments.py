@@ -17,7 +17,13 @@ from typing import Iterable, Sequence
 from repro.trace.events import Event
 from repro.trace.records import RecordKind, TraceRecord
 
-__all__ = ["Segment", "SegmentationError", "segment_rank_records", "structural_key"]
+__all__ = [
+    "Segment",
+    "SegmentationError",
+    "segment_rank_records",
+    "iter_segments",
+    "structural_key",
+]
 
 
 class SegmentationError(RuntimeError):
@@ -138,12 +144,25 @@ def segment_rank_records(records: Sequence[TraceRecord]) -> list[Segment]:
         If markers are unbalanced, events appear outside segments, or an
         ENTER/EXIT pair straddles a segment boundary.
     """
-    segments: list[Segment] = []
+    return list(iter_segments(records))
+
+
+def iter_segments(records: Iterable[TraceRecord]):
+    """Incrementally segment one rank's record stream.
+
+    The streaming form of :func:`segment_rank_records`: each segment is
+    yielded as soon as its SEGMENT_END record is consumed, so memory stays
+    bounded by the largest single segment regardless of trace length.  The
+    rules and errors are identical (the batch function delegates here).
+    """
     current: Segment | None = None
     open_event: tuple[str, float, TraceRecord] | None = None
-    rank = records[0].rank if records else 0
+    rank: int | None = None
+    n_emitted = 0
 
     for rec in records:
+        if rank is None:
+            rank = rec.rank
         if rec.rank != rank:
             raise SegmentationError(
                 f"record stream mixes ranks {rank} and {rec.rank}; segment per rank first"
@@ -164,7 +183,7 @@ def segment_rank_records(records: Sequence[TraceRecord]) -> list[Segment]:
                 start=rec.timestamp,
                 end=rec.timestamp,
                 events=[],
-                index=len(segments),
+                index=n_emitted,
             )
         elif rec.kind is RecordKind.SEGMENT_END:
             if current is None:
@@ -180,7 +199,8 @@ def segment_rank_records(records: Sequence[TraceRecord]) -> list[Segment]:
                     f"segment {rec.name!r} ends inside open event {open_event[0]!r}"
                 )
             current.end = rec.timestamp
-            segments.append(current)
+            n_emitted += 1
+            yield current
             current = None
         elif rec.kind is RecordKind.ENTER:
             if current is None:
@@ -214,4 +234,3 @@ def segment_rank_records(records: Sequence[TraceRecord]) -> list[Segment]:
         raise SegmentationError(f"segment {current.context!r} was never closed")
     if open_event is not None:
         raise SegmentationError(f"event {open_event[0]!r} was never closed")
-    return segments

@@ -1,0 +1,173 @@
+"""Tests for the parallel reduction engine and its instrumentation."""
+
+import pytest
+
+from repro.core.metrics import create_metric
+from repro.core.reducer import TraceReducer
+from repro.pipeline.engine import PipelineConfig, ReductionPipeline, reduce_pipeline
+from repro.pipeline.stats import PipelineStats, time_stage
+from repro.trace.io import serialize_reduced_trace, write_trace
+
+
+@pytest.fixture(params=["serial", "thread", "process"])
+def executor(request):
+    return request.param
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PipelineConfig()
+        assert config.executor == "process"
+        assert config.store_capacity is None
+        assert not config.merge
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            PipelineConfig(executor="gpu")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            PipelineConfig(workers=0)
+
+    def test_serial_resolves_one_worker(self):
+        assert PipelineConfig(executor="serial", workers=8).resolved_workers() == 1
+
+    def test_metric_type_checked(self):
+        with pytest.raises(TypeError, match="SimilarityMetric"):
+            ReductionPipeline(object())
+
+
+class TestEngineOutput:
+    def test_identical_to_serial_reducer(self, small_late_sender_trace, executor):
+        metric_name = "euclidean"
+        serial = TraceReducer(create_metric(metric_name)).reduce(small_late_sender_trace)
+        result = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric(metric_name),
+            PipelineConfig(executor=executor, workers=2),
+        )
+        assert serialize_reduced_trace(result.reduced) == serialize_reduced_trace(serial)
+        assert result.reduced.name == small_late_sender_trace.name
+        assert result.reduced.method == metric_name
+
+    def test_rank_order_is_deterministic(self, small_dynlb_trace, executor):
+        result = reduce_pipeline(
+            small_dynlb_trace,
+            create_metric("relDiff"),
+            PipelineConfig(executor=executor, workers=2, max_pending=2),
+        )
+        assert [r.rank for r in result.reduced.ranks] == [0, 1, 2, 3]
+
+    def test_reduces_straight_from_file(self, tmp_path, small_late_sender_trace):
+        from repro.benchmarks_ats import late_sender
+
+        workload = late_sender(nprocs=4, iterations=6, seed=3)
+        raw = workload.run()
+        path = tmp_path / "trace.txt"
+        write_trace(raw, path)
+        from_file = reduce_pipeline(
+            path, create_metric("relDiff"), PipelineConfig(executor="serial")
+        )
+        in_memory = TraceReducer(create_metric("relDiff")).reduce(raw.segmented())
+        # File timestamps are rounded to two decimals, so compare shape only.
+        assert from_file.reduced.nprocs == in_memory.nprocs
+        assert from_file.reduced.n_segments == in_memory.n_segments
+        assert from_file.reduced.name == "trace"
+
+    def test_pickling_pool_path_matches_serial_on_files(self, tmp_path):
+        """File sources can't be fork-shared, so this exercises payload pickling."""
+        from repro.benchmarks_ats import late_sender
+
+        raw = late_sender(nprocs=4, iterations=6, seed=3).run()
+        path = tmp_path / "trace.txt"
+        write_trace(raw, path)
+        serial = reduce_pipeline(
+            path, create_metric("relDiff"), PipelineConfig(executor="serial")
+        )
+        pooled = reduce_pipeline(
+            path, create_metric("relDiff"), PipelineConfig(executor="process", workers=2)
+        )
+        assert serialize_reduced_trace(pooled.reduced) == serialize_reduced_trace(serial.reduced)
+
+    def test_merge_stage(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric("relDiff"),
+            PipelineConfig(executor="serial", merge=True),
+        )
+        assert result.merged is not None
+        assert result.merged.n_stored + result.merged.n_duplicates == result.reduced.n_stored
+        assert result.stats.merged_stored == result.merged.n_stored
+        assert "merge" in result.stats.stage_seconds
+
+    def test_no_merge_by_default(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace, create_metric("relDiff"), PipelineConfig(executor="serial")
+        )
+        assert result.merged is None
+
+    def test_bounded_store_caps_candidates(self, small_dynlb_trace):
+        unbounded = reduce_pipeline(
+            small_dynlb_trace, create_metric("iter_k", 1000), PipelineConfig(executor="serial")
+        )
+        bounded = reduce_pipeline(
+            small_dynlb_trace,
+            create_metric("iter_k", 1000),
+            PipelineConfig(executor="serial", store_capacity=1),
+        )
+        # iter_k(1000) stores every unmatched execution; with the store capped
+        # at one representative per rank, evictions must occur and at least as
+        # many representatives are stored.
+        assert bounded.stats.store.evictions > 0
+        assert bounded.reduced.n_stored >= unbounded.reduced.n_stored
+
+
+class TestStats:
+    def test_counters_filled(self, small_late_sender_trace, executor):
+        result = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric("relDiff"),
+            PipelineConfig(executor=executor, workers=2),
+        )
+        stats = result.stats
+        assert stats.nprocs == 4
+        assert stats.n_segments == result.reduced.n_segments
+        assert stats.n_stored == result.reduced.n_stored
+        assert stats.total_seconds > 0.0
+        assert stats.segments_per_second > 0.0
+        assert stats.store.lookups == stats.n_segments
+        assert stats.store.hits == stats.n_possible_matches
+        assert stats.stage_seconds.get("reduce", 0.0) >= 0.0
+
+    def test_match_rate_matches_degree_of_matching(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace, create_metric("relDiff"), PipelineConfig(executor="serial")
+        )
+        assert result.stats.match_rate == result.reduced.degree_of_matching()
+
+    def test_rows_render(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace, create_metric("relDiff"), PipelineConfig(executor="serial")
+        )
+        rows = result.stats.rows()
+        assert ["ranks", 4] in rows
+        assert any(row[0] == "segments / second" for row in rows)
+
+    def test_time_stage_accumulates(self):
+        stats = PipelineStats(executor="serial", workers=1)
+        with time_stage(stats, "ingest"):
+            pass
+        with time_stage(stats, "ingest"):
+            pass
+        assert stats.stage_seconds["ingest"] >= 0.0
+
+    def test_empty_run(self):
+        from repro.trace.trace import SegmentedTrace
+
+        result = reduce_pipeline(
+            SegmentedTrace(name="empty"), create_metric("relDiff"),
+            PipelineConfig(executor="serial"),
+        )
+        assert result.reduced.nprocs == 0
+        assert result.stats.match_rate == 1.0
+        assert result.stats.segments_per_second >= 0.0

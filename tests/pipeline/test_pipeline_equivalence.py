@@ -1,0 +1,69 @@
+"""Pipeline-vs-serial equivalence: every metric, every criterion.
+
+The acceptance bar for the pipeline: for each similarity method the parallel
+path must produce a byte-identical reduced-trace serialization and identical
+values for all four evaluation criteria (file size %, degree of matching,
+approximation distance, retention of trends).
+"""
+
+import pytest
+
+from repro.core.metrics import METRIC_NAMES, create_metric
+from repro.evaluation.runner import PreparedWorkload, evaluate_method
+from repro.pipeline.engine import PipelineConfig
+from repro.trace.io import serialize_reduced_trace
+
+
+@pytest.fixture(scope="module")
+def prepared(small_late_sender_trace):
+    return PreparedWorkload.from_segmented("late_sender", small_late_sender_trace)
+
+
+@pytest.mark.parametrize("metric_name", METRIC_NAMES)
+class TestEveryMetric:
+    def test_serialization_identical(self, small_late_sender_trace, metric_name):
+        from repro.core.reducer import TraceReducer
+        from repro.pipeline.engine import reduce_pipeline
+
+        serial = TraceReducer(create_metric(metric_name)).reduce(small_late_sender_trace)
+        parallel = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric(metric_name),
+            PipelineConfig(executor="thread", workers=2),
+        ).reduced
+        assert serialize_reduced_trace(parallel) == serialize_reduced_trace(serial)
+
+    def test_all_criteria_identical(self, prepared, metric_name):
+        serial = evaluate_method(prepared, create_metric(metric_name), keep_comparison=False)
+        pipeline = evaluate_method(
+            prepared,
+            create_metric(metric_name),
+            keep_comparison=False,
+            backend="pipeline",
+            pipeline_config=PipelineConfig(executor="thread", workers=2),
+        )
+        assert pipeline.pct_file_size == serial.pct_file_size
+        assert pipeline.degree_of_matching == serial.degree_of_matching
+        assert pipeline.approx_distance_us == serial.approx_distance_us
+        assert pipeline.trends_retained == serial.trends_retained
+        assert pipeline.reduced_bytes == serial.reduced_bytes
+        assert pipeline.n_segments == serial.n_segments
+        assert pipeline.n_stored == serial.n_stored
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self, prepared):
+        with pytest.raises(ValueError, match="backend"):
+            evaluate_method(prepared, create_metric("relDiff"), backend="quantum")
+
+    def test_process_backend_matches_too(self, prepared):
+        serial = evaluate_method(prepared, create_metric("relDiff"), keep_comparison=False)
+        pipeline = evaluate_method(
+            prepared,
+            create_metric("relDiff"),
+            keep_comparison=False,
+            backend="pipeline",
+            pipeline_config=PipelineConfig(executor="process", workers=2),
+        )
+        assert pipeline.pct_file_size == serial.pct_file_size
+        assert pipeline.degree_of_matching == serial.degree_of_matching

@@ -67,3 +67,52 @@ class TestCommands:
         assert code == 0
         assert "MPI_Alltoall" in out
         assert "full trace" in out
+
+    def test_pipeline(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "pipeline", "late_sender",
+            "--executor", "thread", "--workers", "2", "--method", "euclidean",
+            "--merge", "--verify",
+        )
+        assert code == 0
+        assert "euclidean" in out
+        assert "segments / second" in out
+        assert "matches serial reducer  yes" in out
+        assert "cross-rank duplicates" in out
+
+    def test_pipeline_output_file(self, capsys, tmp_path):
+        target = tmp_path / "reduced.txt"
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "pipeline", "late_sender",
+            "--executor", "serial", "--output", str(target),
+        )
+        assert code == 0
+        assert target.exists()
+        assert target.read_text().startswith("SEG ")
+
+    def test_pipeline_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline", "late_sender", "--executor", "gpu"])
+
+    def test_pipeline_invalid_workers_is_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--scale", "smoke", "pipeline", "late_sender", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_pipeline_verify_mismatch_exits_nonzero(self, capsys, tmp_path):
+        # A capacity-1 store evicts representatives that iter_avg would have
+        # matched, so the bounded output legitimately diverges from serial.
+        target = tmp_path / "diverged.txt"
+        code = main(
+            ["--scale", "smoke", "pipeline", "sweep3d_8p", "--method", "iter_avg",
+             "--executor", "serial", "--store-capacity", "1", "--verify",
+             "--output", str(target)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "matches serial reducer  NO" in captured.out
+        assert "does not match" in captured.err
+        # The known-divergent reduction must not be written.
+        assert not target.exists()
+        assert "skipped: verification failed" in captured.out

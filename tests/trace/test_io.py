@@ -6,15 +6,18 @@ from repro.benchmarks_ats import late_sender
 from repro.trace.events import MpiCallInfo
 from repro.trace.io import (
     format_record,
+    iter_reduced_rank_chunks,
     parse_record,
     read_trace,
     reduced_trace_size_bytes,
     segmented_trace_size_bytes,
     serialize_exec_entry,
     serialize_records,
+    serialize_reduced_trace,
     serialize_segment,
     serialize_segment_as_records,
     trace_size_bytes,
+    write_reduced_trace,
     write_trace,
 )
 from repro.trace.records import RecordKind, TraceRecord
@@ -118,3 +121,41 @@ class TestFileRoundTrip:
         loaded = read_trace(path).segmented()
         assert loaded.num_segments == original.num_segments
         assert loaded.num_events == original.num_events
+
+
+class TestStreamingReducedWriter:
+    @pytest.fixture()
+    def reduced(self, small_late_sender_trace):
+        from repro.core.metrics import create_metric
+        from repro.core.reducer import TraceReducer
+
+        return TraceReducer(create_metric("relDiff")).reduce(small_late_sender_trace)
+
+    def test_chunks_concatenate_to_size_bytes(self, reduced):
+        for rank in reduced.ranks:
+            chunks = list(iter_reduced_rank_chunks(rank))
+            assert sum(len(c) for c in chunks) == rank.size_bytes()
+
+    def test_serialize_reduced_trace_matches_size(self, reduced):
+        assert len(serialize_reduced_trace(reduced)) == reduced.size_bytes()
+
+    def test_streaming_write_identical_to_in_memory(self, tmp_path, reduced):
+        path = tmp_path / "reduced.txt"
+        written = write_reduced_trace(reduced, path)
+        data = path.read_bytes()
+        assert written == len(data) == reduced.size_bytes()
+        assert data == serialize_reduced_trace(reduced)
+
+    def test_written_form_has_expected_line_kinds(self, tmp_path, reduced):
+        path = tmp_path / "reduced.txt"
+        write_reduced_trace(reduced, path)
+        kinds = {line.split()[0] for line in path.read_text().splitlines() if line}
+        assert kinds == {"SEG", "EV", "EXEC"}
+
+    def test_empty_reduced_trace(self, tmp_path):
+        from repro.core.reduced import ReducedTrace
+
+        empty = ReducedTrace(name="e", method="relDiff", threshold=0.8)
+        path = tmp_path / "empty.txt"
+        assert write_reduced_trace(empty, path) == 0
+        assert path.read_bytes() == b""
