@@ -1,0 +1,160 @@
+"""Candidate-scan stage: legacy per-candidate scan vs batched match kernel.
+
+The matching step is the reduction's inner loop: every incoming segment is
+compared against all stored representatives sharing its structural key.  This
+benchmark times exactly that stage (via the reducer's match counters) on the
+sweep3d workload at the default scale, once with the legacy Python scan
+(``TraceReducer(batch=False)``) and once with the vectorized ``match_batch``
+kernels over cached representative matrices, asserts the two reductions are
+byte-identical, and writes the measurements to ``BENCH_match_kernel.json``.
+
+Two regimes are measured per method family:
+
+* the paper's default threshold — high match rates, so candidate lists stay
+  shallow and the win comes mostly from the cached representative vectors;
+* a strict threshold — low match rates store many representatives per key,
+  so candidate lists run deep and the broadcast kernel dominates.
+
+The headline configuration (a strict-threshold Euclidean run, the deepest
+candidate lists of the sweep) must show at least a 3x single-core speedup of
+the candidate-scan stage; that bound is asserted, not just recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from support import RESULTS_DIR, emit, run_once
+
+from repro.core.candidates import MatchCounters
+from repro.core.metrics import DEFAULT_THRESHOLDS, create_metric
+from repro.core.reducer import TraceReducer
+from repro.experiments.config import build_workload, get_scale
+from repro.trace.io import serialize_reduced_trace
+from repro.util.tables import format_table
+
+BENCH_PATH = RESULTS_DIR.parent / "BENCH_match_kernel.json"
+
+WORKLOAD = "sweep3d_32p"
+SCALE = "default"
+
+#: (method, threshold) pairs: the paper's default threshold plus a strict one
+#: that forces deep candidate lists (the store-heavy regime).
+CONFIGS: tuple[tuple[str, float], ...] = (
+    ("relDiff", DEFAULT_THRESHOLDS["relDiff"]),
+    ("relDiff", 0.01),
+    ("absDiff", DEFAULT_THRESHOLDS["absDiff"]),
+    ("manhattan", DEFAULT_THRESHOLDS["manhattan"]),
+    ("manhattan", 0.01),
+    ("euclidean", DEFAULT_THRESHOLDS["euclidean"]),
+    ("euclidean", 0.001),
+    ("chebyshev", DEFAULT_THRESHOLDS["chebyshev"]),
+    ("chebyshev", 0.001),
+    ("avgWave", DEFAULT_THRESHOLDS["avgWave"]),
+    ("avgWave", 0.01),
+    ("haarWave", DEFAULT_THRESHOLDS["haarWave"]),
+    ("haarWave", 0.01),
+)
+
+#: The acceptance configuration: strict Euclidean produces the deepest
+#: candidate lists of the sweep, i.e. the regime the batch kernel exists for.
+HEADLINE = ("euclidean", 0.001)
+MIN_HEADLINE_SPEEDUP = 3.0
+
+
+def _timed_reduction(segmented, metric_name: str, threshold: float, *, batch: bool):
+    counters = MatchCounters()
+    reducer = TraceReducer(create_metric(metric_name, threshold), batch=batch)
+    started = time.perf_counter()
+    reduced = reducer.reduce(segmented, match_counters=counters)
+    total = time.perf_counter() - started
+    return serialize_reduced_trace(reduced), reduced, counters, total
+
+
+def _compare(segmented, metric_name: str, threshold: float) -> dict:
+    scan_bytes, reduced, scan, scan_total = _timed_reduction(
+        segmented, metric_name, threshold, batch=False
+    )
+    batch_bytes, _, batch, batch_total = _timed_reduction(
+        segmented, metric_name, threshold, batch=True
+    )
+    assert batch_bytes == scan_bytes, (
+        f"batched matcher diverged from the legacy scan for {metric_name}({threshold})"
+    )
+    return {
+        "method": metric_name,
+        "threshold": threshold,
+        "n_stored": reduced.n_stored,
+        "match_calls": scan.calls,
+        "rows_per_call": round(scan.rows_per_call, 3),
+        "scan_match_seconds": round(scan.seconds, 6),
+        "batch_match_seconds": round(batch.seconds, 6),
+        "match_speedup": round(scan.seconds / batch.seconds, 4) if batch.seconds else None,
+        "scan_total_seconds": round(scan_total, 6),
+        "batch_total_seconds": round(batch_total, 6),
+        "total_speedup": round(scan_total / batch_total, 4) if batch_total else None,
+        "identical_output": True,
+    }
+
+
+def _run_comparison() -> dict:
+    segmented = build_workload(WORKLOAD, get_scale(SCALE)).run_segmented()
+    entries = [_compare(segmented, method, threshold) for method, threshold in CONFIGS]
+    headline = next(
+        e for e in entries if (e["method"], e["threshold"]) == HEADLINE
+    )
+    return {
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "n_ranks": segmented.nprocs,
+        "n_segments": segmented.num_segments,
+        "cpu_count": os.cpu_count() or 1,
+        "headline": {
+            "method": HEADLINE[0],
+            "threshold": HEADLINE[1],
+            "match_speedup": headline["match_speedup"],
+            "min_required": MIN_HEADLINE_SPEEDUP,
+        },
+        "configs": entries,
+    }
+
+
+def test_match_kernel_speedup(benchmark):
+    report = run_once(benchmark, _run_comparison)
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        [
+            entry["method"],
+            f"{entry['threshold']:g}",
+            entry["n_stored"],
+            f"{entry['rows_per_call']:.2f}",
+            f"{entry['scan_match_seconds']:.4f}",
+            f"{entry['batch_match_seconds']:.4f}",
+            f"{entry['match_speedup']:.2f}x",
+        ]
+        for entry in report["configs"]
+    ]
+    emit(
+        "BENCH_match_kernel",
+        format_table(
+            ["method", "threshold", "stored", "rows/call", "scan s", "batch s", "speedup"],
+            rows,
+            title=(
+                f"candidate-scan stage: legacy scan vs batched kernel — "
+                f"{WORKLOAD}/{SCALE} ({report['cpu_count']} cpus)"
+            ),
+        ),
+    )
+
+    for entry in report["configs"]:
+        assert entry["identical_output"]
+        assert entry["scan_match_seconds"] > 0 and entry["batch_match_seconds"] > 0
+    # The acceptance bar: the batched kernel must beat the legacy scan by at
+    # least 3x on the deep-candidate-list headline configuration.
+    assert report["headline"]["match_speedup"] >= MIN_HEADLINE_SPEEDUP, (
+        f"headline match-kernel speedup {report['headline']['match_speedup']}x "
+        f"is below the required {MIN_HEADLINE_SPEEDUP}x"
+    )

@@ -13,6 +13,7 @@ The pipeline is:
    retention of performance trends) can be applied.
 """
 
+from repro.core.candidates import CandidateList, MatchCounters
 from repro.core.metrics import (
     DEFAULT_THRESHOLDS,
     METRIC_NAMES,
@@ -28,6 +29,8 @@ __all__ = [
     "DEFAULT_THRESHOLDS",
     "THRESHOLD_STUDY",
     "create_metric",
+    "CandidateList",
+    "MatchCounters",
     "StoredSegment",
     "ReducedRankTrace",
     "ReducedTrace",

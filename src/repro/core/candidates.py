@@ -1,0 +1,210 @@
+"""Batched candidate matching: per-key candidate lists backed by row matrices.
+
+The matching algorithm compares every incoming segment against all stored
+representatives that share its structural key, in insertion order, returning
+the first match (Section 3.1 of the paper).  That scan is the reduction's
+inner loop, so instead of a Python loop over :class:`StoredSegment` objects
+the candidates of each key are kept in a :class:`CandidateList`: an ordered
+sequence that *also* maintains a contiguous 2-D matrix with one feature-vector
+row per representative.  A metric's ``match_batch`` kernel then evaluates all
+candidates in one NumPy broadcast and returns the first matching row.
+
+Because every candidate under one structural key has the same structure, all
+rows have the same width; the matrix grows geometrically so appending a
+representative is amortised O(row).  Rows hold whatever vector layout the
+owning metric asks for (canonical pairwise timestamps, the Minkowski layout,
+or pre-transformed wavelet coefficients) — the vectors themselves are cached
+on the :class:`StoredSegment` and invalidated when ``iter_avg`` mutates the
+stored timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reduced import StoredSegment
+
+__all__ = ["CandidateList", "MatchCounters", "first_match_index"]
+
+
+def first_match_index(mask: np.ndarray) -> Optional[int]:
+    """Index of the first True row of a boolean mask, or None.
+
+    This is what preserves the paper's first-match semantics after the scan is
+    vectorized: the kernel evaluates every row, but the *earliest* matching
+    representative is still the one chosen.
+    """
+    if mask.size == 0:
+        return None
+    index = int(np.argmax(mask))
+    return index if mask[index] else None
+
+
+@dataclass(slots=True)
+class MatchCounters:
+    """Instrumentation of the match-kernel stage of one reduction.
+
+    ``calls`` counts invocations of the matching step (one per segment that
+    had at least one candidate), ``rows_compared`` the total candidate rows
+    those calls evaluated, and ``seconds`` their accumulated wall time.
+    """
+
+    calls: int = 0
+    rows_compared: int = 0
+    seconds: float = 0.0
+
+    def merged_with(self, other: "MatchCounters") -> "MatchCounters":
+        """Combine counters from two reductions (used to aggregate across ranks)."""
+        return MatchCounters(
+            calls=self.calls + other.calls,
+            rows_compared=self.rows_compared + other.rows_compared,
+            seconds=self.seconds + other.seconds,
+        )
+
+    @property
+    def rows_per_call(self) -> float:
+        """Mean candidate-list depth seen by the kernel."""
+        return self.rows_compared / self.calls if self.calls else 0.0
+
+
+class CandidateList:
+    """Ordered stored-representative bucket with a contiguous row matrix.
+
+    Behaves as a sequence of :class:`StoredSegment` (the interface the legacy
+    scan and the iteration metrics use) while lazily maintaining, for one
+    owning metric, a 2-D float matrix whose row ``i`` is the metric's feature
+    vector of entry ``i``.  The matrix is built on first use, extended
+    incrementally as representatives are appended, and compacted in place when
+    a bounded store evicts leading entries.
+    """
+
+    __slots__ = ("_entries", "_owner", "_matrix", "_scales", "_built")
+
+    #: Minimum row capacity allocated for a new matrix.
+    MIN_CAPACITY = 4
+
+    def __init__(self) -> None:
+        self._entries: list["StoredSegment"] = []
+        self._owner = None  # metric the matrix rows belong to
+        self._matrix: Optional[np.ndarray] = None
+        self._scales: Optional[np.ndarray] = None  # per-row scale cache
+        self._built = 0  # entries materialized into the matrix so far
+
+    # -- sequence protocol (what the legacy scan path sees) -------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator["StoredSegment"]:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CandidateList {len(self._entries)} entries, {self._built} rows built>"
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(self, stored: "StoredSegment") -> None:
+        """Register a new representative (its matrix row is built lazily)."""
+        self._entries.append(stored)
+
+    def trim_front(self, n: int) -> None:
+        """Drop the ``n`` oldest representatives, compacting matrix rows.
+
+        Used by bounded stores' eviction: the surviving rows are shifted to
+        the front of the existing buffer, so the matrix never reallocates on
+        eviction and insertion order is preserved.
+        """
+        if n <= 0:
+            return
+        del self._entries[:n]
+        if self._matrix is not None:
+            surviving = max(0, self._built - n)
+            if surviving:
+                self._matrix[:surviving] = self._matrix[n : n + surviving].copy()
+                if self._scales is not None:
+                    self._scales[:surviving] = self._scales[n : n + surviving].copy()
+            self._built = surviving
+
+    def refresh(self, stored: "StoredSegment") -> None:
+        """Rebuild the matrix row of a mutated representative.
+
+        Called after a metric with ``mutates_stored`` (``iter_avg``) updates a
+        stored segment's timestamps; the segment's own vector cache has been
+        invalidated by then, so the row is recomputed from fresh values.
+        """
+        if self._owner is None:
+            return
+        try:
+            index = self._entries.index(stored)
+        except ValueError:
+            return
+        if index < self._built:
+            row = np.asarray(self._owner.candidate_vector(stored), dtype=float)
+            self._matrix[index] = row
+            if self._scales is not None:
+                self._scales[index] = self._owner.row_scale(row)
+
+    # -- the matrix ------------------------------------------------------------
+
+    def matrix(self, metric) -> np.ndarray:
+        """Feature-vector matrix for ``metric``: one row per representative.
+
+        ``metric`` must provide ``candidate_vector(stored) -> 1-D ndarray``
+        (see :class:`repro.core.metrics.base.DistanceMetric`).  The matrix is
+        owned by one metric at a time; a different metric triggers a full
+        rebuild (in practice each reduction run uses a single metric).
+        """
+        return self.matrix_and_scales(metric)[0]
+
+    def matrix_and_scales(self, metric) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Like :meth:`matrix`, plus the cached per-row scale vector.
+
+        Metrics whose match limit scales with each candidate's largest
+        measurement magnitude (Minkowski, wavelet) declare a ``row_scale``
+        hook; its value is computed once per row at build time and cached, so
+        the kernel doesn't recompute ``abs(matrix).max(axis=1)`` on every
+        incoming segment.  Metrics without the hook get None.
+        """
+        if metric is not self._owner:
+            self._owner = metric
+            self._matrix = None
+            self._scales = None
+            self._built = 0
+        n = len(self._entries)
+        while self._built < n:
+            row = np.asarray(metric.candidate_vector(self._entries[self._built]), dtype=float)
+            matrix = self._matrix
+            if matrix is None:
+                capacity = self.MIN_CAPACITY
+                while capacity < n:
+                    capacity *= 2
+                matrix = self._matrix = np.zeros((capacity, row.size), dtype=float)
+                if metric.row_scale is not None:
+                    self._scales = np.zeros(capacity, dtype=float)
+            elif self._built >= matrix.shape[0]:
+                grown = np.zeros((matrix.shape[0] * 2, matrix.shape[1]), dtype=float)
+                grown[: self._built] = matrix[: self._built]
+                matrix = self._matrix = grown
+                if self._scales is not None:
+                    scales = np.zeros(grown.shape[0], dtype=float)
+                    scales[: self._built] = self._scales[: self._built]
+                    self._scales = scales
+            matrix[self._built] = row
+            if self._scales is not None:
+                self._scales[self._built] = metric.row_scale(row)
+            self._built += 1
+        if self._matrix is None:
+            # No entries yet: an empty matrix with unknown width.
+            return np.zeros((0, 0), dtype=float), None
+        scales = self._scales[:n] if self._scales is not None else None
+        return self._matrix[:n], scales

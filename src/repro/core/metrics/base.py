@@ -9,10 +9,11 @@ metric then decides whether the measurements are similar enough for a match.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
+from repro.core.candidates import CandidateList
 from repro.core.reduced import StoredSegment
 from repro.trace.segments import Segment
 
@@ -28,6 +29,10 @@ class SimilarityMetric(ABC):
     #: Threshold value (method specific meaning); ``None`` for iter_avg.
     threshold: Optional[float] = None
 
+    #: True when :meth:`on_match` mutates the chosen representative's
+    #: timestamps (``iter_avg``); the reducer then refreshes cached rows.
+    mutates_stored: bool = False
+
     @abstractmethod
     def match(self, candidate: Segment, stored: Sequence[StoredSegment]) -> Optional[StoredSegment]:
         """Return the stored segment the candidate matches, or None.
@@ -37,6 +42,18 @@ class SimilarityMetric(ABC):
         as the candidate.  Implementations must scan ``stored`` in order and
         return the *first* match, mirroring the paper's algorithm.
         """
+
+    def match_candidates(
+        self, candidate: Segment, candidates: Sequence[StoredSegment]
+    ) -> Optional[StoredSegment]:
+        """Match against a candidate bucket, batched when the bucket allows it.
+
+        The default simply delegates to :meth:`match` (the per-candidate
+        scan); :class:`DistanceMetric` overrides this to run its vectorized
+        ``match_batch`` kernel when handed a
+        :class:`~repro.core.candidates.CandidateList`.
+        """
+        return self.match(candidate, candidates)
 
     def on_match(self, candidate: Segment, chosen: StoredSegment) -> None:
         """Hook invoked after a successful match (default: count it)."""
@@ -83,3 +100,54 @@ class DistanceMetric(SimilarityMetric):
             if self.similar(new_ts, stored_ts, candidate, entry.segment):
                 return entry
         return None
+
+    # -- batched matching ------------------------------------------------------
+
+    def vector_key(self) -> Hashable:
+        """Cache key of this metric's vector layout on :class:`StoredSegment`.
+
+        Metrics sharing a layout (e.g. relDiff and absDiff, which both use
+        the canonical pairwise vector) share cached vectors.
+        """
+        return "pairwise"
+
+    def build_vector(self, segment: Segment) -> np.ndarray:
+        """This metric's feature vector of one (normalised) segment."""
+        return np.asarray(segment.timestamps(), dtype=float)
+
+    def candidate_vector(self, stored: StoredSegment) -> np.ndarray:
+        """Feature vector of a stored representative, memoized on the segment."""
+        return stored.cached_vector(self.vector_key(), self.build_vector)
+
+    #: Optional hook: scalar scale of one candidate row, cached next to the
+    #: row at matrix-build time and handed to :meth:`match_batch` as
+    #: ``row_scales``.  None (the default) means the metric's limit does not
+    #: depend on a per-row statistic, so no scale vector is maintained.
+    row_scale = None
+
+    @abstractmethod
+    def match_batch(
+        self,
+        vector: np.ndarray,
+        matrix: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> Optional[int]:
+        """First row of ``matrix`` similar to ``vector``, or None.
+
+        ``matrix`` holds one candidate feature vector per row, in insertion
+        order, all built by :meth:`build_vector`; ``row_scales`` carries the
+        cached :attr:`row_scale` of each row when the metric declares the
+        hook.  Implementations evaluate every row in one NumPy broadcast and
+        must reproduce :meth:`similar`'s decision for each row exactly, so
+        batched and scanned reductions stay byte-identical.
+        """
+
+    def match_candidates(
+        self, candidate: Segment, candidates: Sequence[StoredSegment]
+    ) -> Optional[StoredSegment]:
+        if isinstance(candidates, CandidateList):
+            vector = self.build_vector(candidate)
+            matrix, scales = candidates.matrix_and_scales(self)
+            index = self.match_batch(vector, matrix, scales)
+            return candidates[index] if index is not None else None
+        return self.match(candidate, candidates)

@@ -6,8 +6,11 @@ isolation; a single pair exceeding the threshold fails the whole match.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.core.candidates import first_match_index
 from repro.core.metrics.base import DistanceMetric
 from repro.trace.segments import Segment
 
@@ -51,6 +54,18 @@ class RelDiff(DistanceMetric):
         rel = relative_differences(new_ts, stored_ts)
         return bool(np.all(rel <= self.threshold))
 
+    def match_batch(
+        self,
+        vector: np.ndarray,
+        matrix: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> Optional[int]:
+        # relative_differences broadcasts (rows, n) against (n,) element-wise
+        # and is symmetric in its operands, so each row's decision is
+        # bit-identical to the scalar scan.
+        rel = relative_differences(matrix, vector)
+        return first_match_index(np.all(rel <= self.threshold, axis=1))
+
 
 class AbsDiff(DistanceMetric):
     """Absolute difference of every paired measurement against a threshold.
@@ -70,3 +85,13 @@ class AbsDiff(DistanceMetric):
         stored_segment: Segment,
     ) -> bool:
         return bool(np.all(np.abs(new_ts - stored_ts) <= self.threshold))
+
+    def match_batch(
+        self,
+        vector: np.ndarray,
+        matrix: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> Optional[int]:
+        return first_match_index(
+            np.all(np.abs(matrix - vector) <= self.threshold, axis=1)
+        )

@@ -50,6 +50,10 @@ class IterAvg(SimilarityMetric):
 
     name = "iter_avg"
 
+    #: on_match folds the candidate into the stored running mean, mutating the
+    #: representative's timestamps — cached candidate rows must be refreshed.
+    mutates_stored = True
+
     def __init__(self) -> None:
         self.threshold = None
 

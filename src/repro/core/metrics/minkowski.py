@@ -11,8 +11,11 @@ from __future__ import annotations
 
 import math
 
+from typing import Hashable, Optional
+
 import numpy as np
 
+from repro.core.candidates import first_match_index
 from repro.core.metrics.base import DistanceMetric
 from repro.core.metrics.vectors import minkowski_vector
 from repro.trace.segments import Segment
@@ -47,10 +50,16 @@ class MinkowskiMetric(DistanceMetric):
         )
 
     def limit(self, new_segment: Segment, stored_segment: Segment) -> float:
-        """Maximum distance still considered a match for this segment pair."""
+        """Maximum distance still considered a match for this segment pair.
+
+        The scale is the largest measurement *magnitude* in the pair of
+        vectors.  A signed ``max(initial=0.0)`` would clamp the limit to zero
+        whenever every measurement is <= 0, making near-identical segments
+        unmatchable; magnitudes keep the limit meaningful for any sign.
+        """
         v1 = minkowski_vector(new_segment)
         v2 = minkowski_vector(stored_segment)
-        largest = max(float(v1.max(initial=0.0)), float(v2.max(initial=0.0)))
+        largest = max(float(np.abs(v1).max(initial=0.0)), float(np.abs(v2).max(initial=0.0)))
         return self.threshold * largest
 
     def similar(
@@ -63,6 +72,36 @@ class MinkowskiMetric(DistanceMetric):
         return self.distance(new_segment, stored_segment) <= self.limit(
             new_segment, stored_segment
         )
+
+    # -- batched matching ------------------------------------------------------
+
+    def vector_key(self) -> Hashable:
+        return "minkowski"
+
+    def build_vector(self, segment: Segment) -> np.ndarray:
+        return minkowski_vector(segment)
+
+    def row_scale(self, vector: np.ndarray) -> float:
+        """Largest measurement magnitude of one candidate row (cached)."""
+        return float(np.abs(vector).max(initial=0.0))
+
+    def match_batch(
+        self,
+        vector: np.ndarray,
+        matrix: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> Optional[int]:
+        diff = np.abs(matrix - vector)
+        if math.isinf(self.order):
+            distances = diff.max(axis=1, initial=0.0)
+        else:
+            # Row-wise Minkowski norm; the power/sum/power sequence mirrors
+            # minkowski_distance so per-row results match the scan exactly.
+            distances = np.power(np.power(diff, self.order).sum(axis=1), 1.0 / self.order)
+        if row_scales is None:
+            row_scales = np.abs(matrix).max(axis=1, initial=0.0)
+        limits = self.threshold * np.maximum(row_scales, np.abs(vector).max(initial=0.0))
+        return first_match_index(distances <= limits)
 
 
 class Manhattan(MinkowskiMetric):

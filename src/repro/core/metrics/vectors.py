@@ -29,8 +29,14 @@ def pairwise_vector(segment: Segment) -> np.ndarray:
 
 
 def minkowski_vector(segment: Segment) -> np.ndarray:
-    """Vector layout used by the Minkowski distances (segment end first)."""
-    values = [segment.end - segment.start if segment.start else segment.end]
+    """Vector layout used by the Minkowski distances (segment end first).
+
+    The leading element is the segment *duration* ``end - start``,
+    unconditionally: branching on the truthiness of ``start`` (as an earlier
+    revision did) silently treats ``start == 0.0`` differently from every
+    other offset, which only coincidentally produced the same number.
+    """
+    values = [segment.end - segment.start]
     for event in segment.events:
         values.append(event.start)
         values.append(event.end)
@@ -55,7 +61,7 @@ def wavelet_vector(segment: Segment, *, pad: bool = True) -> np.ndarray:
     for event in segment.events:
         values.append(event.start)
         values.append(event.end)
-    values.append(segment.end - segment.start if segment.start else segment.end)
+    values.append(segment.end - segment.start)
     arr = np.asarray(values, dtype=float)
     if not pad:
         return arr

@@ -17,8 +17,11 @@ from __future__ import annotations
 
 import math
 
+from typing import Hashable, Optional
+
 import numpy as np
 
+from repro.core.candidates import first_match_index
 from repro.core.metrics.base import DistanceMetric
 from repro.core.metrics.vectors import next_power_of_two, wavelet_vector
 from repro.trace.segments import Segment
@@ -100,9 +103,42 @@ class WaveletMetric(DistanceMetric):
     ) -> bool:
         t1 = self.transformed(new_segment)
         t2 = self.transformed(stored_segment)
-        distance = float(np.linalg.norm(t1 - t2))
-        largest = max(float(t1.max(initial=0.0)), float(t2.max(initial=0.0)))
+        # sqrt(sum of squares) rather than np.linalg.norm: BLAS dot products
+        # may sum in a different order, and the batched kernel must reproduce
+        # this distance bit-for-bit.
+        distance = float(np.sqrt(np.square(t1 - t2).sum()))
+        # The match limit scales with the largest coefficient *magnitude*:
+        # fluctuations are signed, so a signed max would clamp the limit to
+        # zero for vectors whose coefficients are all <= 0 and near-identical
+        # segments could never match.
+        largest = max(float(np.abs(t1).max(initial=0.0)), float(np.abs(t2).max(initial=0.0)))
         return distance <= self.threshold * largest
+
+    # -- batched matching ------------------------------------------------------
+
+    def vector_key(self) -> Hashable:
+        # Rows hold *transformed* coefficients, so the cache key must pin the
+        # transform variant and the padding ablation.
+        return ("wavelet", self.name, self.pad)
+
+    def build_vector(self, segment: Segment) -> np.ndarray:
+        return self.transformed(segment)
+
+    def row_scale(self, vector: np.ndarray) -> float:
+        """Largest coefficient magnitude of one transformed row (cached)."""
+        return float(np.abs(vector).max(initial=0.0))
+
+    def match_batch(
+        self,
+        vector: np.ndarray,
+        matrix: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> Optional[int]:
+        distances = np.sqrt(np.square(matrix - vector).sum(axis=1))
+        if row_scales is None:
+            row_scales = np.abs(matrix).max(axis=1, initial=0.0)
+        limits = self.threshold * np.maximum(row_scales, np.abs(vector).max(initial=0.0))
+        return first_match_index(distances <= limits)
 
 
 class AvgWave(WaveletMetric):

@@ -18,8 +18,10 @@ bounds reducer memory; with no store the historical inline dictionary is used.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Protocol, Sequence, Tuple
 
+from repro.core.candidates import CandidateList, MatchCounters
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
 from repro.trace.segments import Segment
@@ -41,20 +43,26 @@ class _InlineStore:
 
     Also the storage layer of :class:`repro.pipeline.store.UnboundedStore`,
     which subclasses it to add lookup counters — the unbounded semantics are
-    implemented exactly once.
+    implemented exactly once.  Buckets are
+    :class:`~repro.core.candidates.CandidateList`\\ s, so the batched match
+    kernels see a contiguous row matrix per structural key; to the legacy
+    scan they still behave as ordered sequences.
     """
 
     __slots__ = ("_by_key", "_size")
 
     def __init__(self) -> None:
-        self._by_key: dict[tuple, list[StoredSegment]] = {}
+        self._by_key: dict[tuple, CandidateList] = {}
         self._size = 0
 
     def candidates(self, key: tuple) -> Sequence[StoredSegment]:
         return self._by_key.get(key, ())
 
     def add(self, key: tuple, stored: StoredSegment) -> None:
-        self._by_key.setdefault(key, []).append(stored)
+        bucket = self._by_key.get(key)
+        if bucket is None:
+            bucket = self._by_key[key] = CandidateList()
+        bucket.append(stored)
         self._size += 1
 
     def __len__(self) -> int:
@@ -66,14 +74,21 @@ class TraceReducer:
 
     A reducer instance is stateless between calls; it can be reused across
     ranks and traces.
+
+    ``batch=True`` (the default) routes candidate matching through the
+    metric's vectorized ``match_batch`` kernel whenever the store's buckets
+    carry a row matrix; ``batch=False`` forces the legacy per-candidate scan.
+    Both produce byte-identical reduced traces — the flag exists so the scan
+    can serve as a benchmark baseline and an equivalence oracle.
     """
 
-    def __init__(self, metric: SimilarityMetric):
+    def __init__(self, metric: SimilarityMetric, *, batch: bool = True):
         if not isinstance(metric, SimilarityMetric):
             raise TypeError(
                 f"metric must be a SimilarityMetric, got {type(metric).__name__}"
             )
         self.metric = metric
+        self.batch = bool(batch)
 
     # -- per-rank reduction ---------------------------------------------------
 
@@ -89,30 +104,50 @@ class TraceReducer:
         *,
         rank: int = 0,
         store: Optional[SegmentStore] = None,
+        match_counters: Optional[MatchCounters] = None,
     ) -> ReducedRankTrace:
         """Reduce a segment stream (list, generator, or any iterable).
 
         Segments are consumed one at a time; memory is bounded by the
-        representative store, not the input length.
+        representative store, not the input length.  When ``match_counters``
+        is given, the match-kernel stage (calls, candidate rows, wall time)
+        is accumulated into it; with None the hot loop carries no timing
+        overhead.
         """
         reduced = ReducedRankTrace(rank=rank)
         if store is None:
             store = _InlineStore()
         next_id = 0
+        metric = self.metric
+        matcher = metric.match_candidates if self.batch else metric.match
+        mutates = metric.mutates_stored
+        perf_counter = time.perf_counter
 
         for segment in segments:
             reduced.n_segments += 1
             relative = segment.relative_to_start()
             key = relative.structure()
             candidates = store.candidates(key)
+            chosen = None
             if candidates:
                 reduced.n_possible_matches += 1
-            chosen = self.metric.match(relative, candidates) if candidates else None
+                if match_counters is None:
+                    chosen = matcher(relative, candidates)
+                else:
+                    started = perf_counter()
+                    chosen = matcher(relative, candidates)
+                    match_counters.seconds += perf_counter() - started
+                    match_counters.calls += 1
+                    match_counters.rows_compared += len(candidates)
             if chosen is not None:
                 reduced.n_matches += 1
                 reduced.execs.append((chosen.segment_id, segment.start))
                 reduced.exec_matched.append(True)
-                self.metric.on_match(relative, chosen)
+                metric.on_match(relative, chosen)
+                if mutates:
+                    refresh = getattr(candidates, "refresh", None)
+                    if refresh is not None:
+                        refresh(chosen)
             else:
                 stored_segment = StoredSegment(segment_id=next_id, segment=relative)
                 next_id += 1
@@ -124,10 +159,14 @@ class TraceReducer:
 
     # -- whole-trace reduction --------------------------------------------------
 
-    def reduce(self, trace: SegmentedTrace) -> ReducedTrace:
+    def reduce(
+        self, trace: SegmentedTrace, *, match_counters: Optional[MatchCounters] = None
+    ) -> ReducedTrace:
         """Reduce every rank of ``trace`` independently (intra-process reduction)."""
         return self.reduce_streams(
-            trace.name, ((rank.rank, rank.segments) for rank in trace.ranks)
+            trace.name,
+            ((rank.rank, rank.segments) for rank in trace.ranks),
+            match_counters=match_counters,
         )
 
     def reduce_streams(
@@ -136,6 +175,7 @@ class TraceReducer:
         streams: Iterable[Tuple[int, Iterable[Segment]]],
         *,
         store_factory=None,
+        match_counters: Optional[MatchCounters] = None,
     ) -> ReducedTrace:
         """Reduce ``(rank, segment stream)`` pairs serially, in stream order.
 
@@ -150,7 +190,11 @@ class TraceReducer:
         )
         for rank, segments in streams:
             store = store_factory() if store_factory is not None else None
-            reduced.ranks.append(self.reduce_segments(segments, rank=rank, store=store))
+            reduced.ranks.append(
+                self.reduce_segments(
+                    segments, rank=rank, store=store, match_counters=match_counters
+                )
+            )
         return reduced
 
 

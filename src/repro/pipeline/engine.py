@@ -41,6 +41,7 @@ from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, T
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.candidates import MatchCounters
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace
 from repro.core.reducer import TraceReducer
@@ -115,7 +116,7 @@ def _reduce_rank_task(
     rank: int,
     segments,
     store_capacity: Optional[int],
-) -> tuple[ReducedRankTrace, StoreCounters]:
+) -> tuple[ReducedRankTrace, StoreCounters, MatchCounters]:
     """One worker task: reduce a single rank with its own store.
 
     Module-level so process pools can pickle it; the pickled ``metric`` gives
@@ -123,8 +124,11 @@ def _reduce_rank_task(
     hold no cross-rank state).
     """
     store = create_store(store_capacity)
-    reduced = TraceReducer(metric).reduce_segments(segments, rank=rank, store=store)
-    return reduced, store.counters
+    match_counters = MatchCounters()
+    reduced = TraceReducer(metric).reduce_segments(
+        segments, rank=rank, store=store, match_counters=match_counters
+    )
+    return reduced, store.counters, match_counters
 
 
 #: In-memory trace inherited by fork()ed workers (set around pool creation).
@@ -172,15 +176,35 @@ class ReductionPipeline:
     # -- public API -----------------------------------------------------------
 
     def reduce(self, source: SegmentSource, *, name: Optional[str] = None) -> PipelineResult:
-        """Reduce any segment source (trace, segmented trace, or file path)."""
+        """Reduce any segment source (trace, segmented trace, or file path).
+
+        A pooled executor whose effective worker count is 1 is auto-downgraded
+        to the serial path: a one-worker pool reduces rank-by-rank anyway, so
+        it can only add pool startup and IPC overhead (single-CPU runs showed
+        0.80x "speedups").  The downgrade is recorded in the stats
+        (``requested_executor`` vs ``executor``) and never changes output.
+        """
         config = self.config
-        stats = PipelineStats(executor=config.executor, workers=config.resolved_workers())
+        workers = config.resolved_workers()
+        executor = config.executor
+        if executor != "serial" and (
+            workers == 1
+            or (isinstance(source, (SegmentedTrace, Trace)) and len(source.ranks) <= 1)
+        ):
+            # One effective worker *or* one rank to reduce: a pool can only
+            # add startup and IPC overhead, so run the serial path.  (File
+            # sources don't reveal their rank count up front, so a 1-rank
+            # file still goes through the pool.)
+            executor = "serial"
+        stats = PipelineStats(
+            executor=executor, workers=workers, requested_executor=config.executor
+        )
         started = time.perf_counter()
 
-        if config.executor == "serial":
+        if executor == "serial":
             ranks = self._reduce_serial(rank_segment_streams(source), stats)
         elif (
-            config.executor == "process"
+            executor == "process"
             and isinstance(source, (SegmentedTrace, Trace))
             and _fork_available()
         ):
@@ -217,11 +241,12 @@ class ReductionPipeline:
         ranks: list[ReducedRankTrace] = []
         with time_stage(stats, "reduce"):
             for rank, segments in streams:
-                reduced_rank, counters = _reduce_rank_task(
+                reduced_rank, counters, match_counters = _reduce_rank_task(
                     self.metric, rank, segments, self.config.store_capacity
                 )
                 ranks.append(reduced_rank)
                 stats.store = stats.store.merged_with(counters)
+                stats.match = stats.match.merged_with(match_counters)
         return ranks
 
     def _reduce_forked(
@@ -238,7 +263,7 @@ class ReductionPipeline:
         global _FORK_SOURCE
         config = self.config
         workers = min(config.resolved_workers(), max(1, len(source.ranks)))
-        results: list[tuple[ReducedRankTrace, StoreCounters]] = []
+        results: list[tuple[ReducedRankTrace, StoreCounters, MatchCounters]] = []
         with _FORK_LOCK:
             _FORK_SOURCE = source
             try:
@@ -256,9 +281,10 @@ class ReductionPipeline:
                 _FORK_SOURCE = None
 
         ranks: list[ReducedRankTrace] = []
-        for reduced_rank, counters in results:
+        for reduced_rank, counters, match_counters in results:
             ranks.append(reduced_rank)
             stats.store = stats.store.merged_with(counters)
+            stats.match = stats.match.merged_with(match_counters)
         return ranks
 
     def _reduce_pooled(self, streams, stats: PipelineStats) -> list[ReducedRankTrace]:
@@ -266,7 +292,7 @@ class ReductionPipeline:
         config = self.config
         workers = config.resolved_workers()
         window = config.max_pending or 2 * workers
-        results: dict[int, tuple[ReducedRankTrace, StoreCounters]] = {}
+        results: dict[int, tuple[ReducedRankTrace, StoreCounters, MatchCounters]] = {}
         pending: dict = {}
 
         def drain(return_when: str) -> None:
@@ -298,9 +324,10 @@ class ReductionPipeline:
 
         ranks: list[ReducedRankTrace] = []
         for position in range(n_streams):
-            reduced_rank, counters = results[position]
+            reduced_rank, counters, match_counters = results[position]
             ranks.append(reduced_rank)
             stats.store = stats.store.merged_with(counters)
+            stats.match = stats.match.merged_with(match_counters)
         return ranks
 
     def _make_executor(self, workers: int) -> Executor:

@@ -12,6 +12,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.core.candidates import MatchCounters
 from repro.pipeline.store import StoreCounters
 
 __all__ = ["PipelineStats", "time_stage"]
@@ -36,6 +37,10 @@ class PipelineStats:
     stage_seconds: dict = field(default_factory=dict)
     total_seconds: float = 0.0
     store: StoreCounters = field(default_factory=StoreCounters)
+    match: MatchCounters = field(default_factory=MatchCounters)
+    #: Executor named in the config; differs from ``executor`` when the
+    #: engine auto-downgraded a one-worker pool to the serial path.
+    requested_executor: str = ""
 
     @property
     def match_rate(self) -> float:
@@ -51,16 +56,27 @@ class PipelineStats:
             return 0.0
         return self.n_segments / self.total_seconds
 
+    @property
+    def downgraded(self) -> bool:
+        """True when a pooled executor was auto-downgraded to serial."""
+        return bool(self.requested_executor) and self.requested_executor != self.executor
+
     def rows(self) -> list[list]:
         """(property, value) rows for the CLI table."""
+        executor_cell = f"{self.executor} x{self.workers}"
+        if self.downgraded:
+            executor_cell += f" (auto-downgraded from {self.requested_executor})"
         rows: list[list] = [
-            ["executor", f"{self.executor} x{self.workers}"],
+            ["executor", executor_cell],
             ["ranks", self.nprocs],
             ["segments", self.n_segments],
             ["stored representatives", self.n_stored],
             ["match rate", f"{self.match_rate:.4f}"],
             ["store hits / lookups", f"{self.store.hits} / {self.store.lookups}"],
             ["store evictions", self.store.evictions],
+            ["match kernel calls", self.match.calls],
+            ["match kernel rows / call", f"{self.match.rows_per_call:.2f}"],
+            ["match kernel wall time (s)", f"{self.match.seconds:.4f}"],
         ]
         if self.merged_stored or self.merged_duplicates:
             rows.append(["merged representatives", self.merged_stored])

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from repro.core.candidates import CandidateList
 from repro.core.reduced import StoredSegment
 from repro.core.reducer import _InlineStore
 
@@ -124,7 +125,7 @@ class LRUStore(RepresentativeStore):
             raise ValueError(f"LRUStore capacity must be >= 1, got {capacity}")
         super().__init__()
         self.capacity = int(capacity)
-        self._by_key: OrderedDict[Hashable, list[StoredSegment]] = OrderedDict()
+        self._by_key: OrderedDict[Hashable, CandidateList] = OrderedDict()
         self._size = 0
 
     def candidates(self, key: Hashable) -> Sequence[StoredSegment]:
@@ -140,7 +141,7 @@ class LRUStore(RepresentativeStore):
     def add(self, key: Hashable, stored: StoredSegment) -> None:
         bucket = self._by_key.get(key)
         if bucket is None:
-            bucket = self._by_key[key] = []
+            bucket = self._by_key[key] = CandidateList()
         else:
             self._by_key.move_to_end(key)
         bucket.append(stored)
@@ -153,9 +154,10 @@ class LRUStore(RepresentativeStore):
             else:
                 # Everything lives under one structural key (the homogeneous
                 # hot path); trim its oldest representatives so the capacity
-                # really is a hard ceiling.
+                # really is a hard ceiling.  trim_front also compacts the
+                # bucket's matrix rows in place, keeping them contiguous.
                 excess = self._size - self.capacity
-                del bucket[:excess]
+                bucket.trim_front(excess)
                 self._size -= excess
                 self.counters.evictions += excess
 

@@ -98,3 +98,22 @@ class TestSegmentMatching:
         assert Manhattan(0.1).order == 1.0
         assert Euclidean(0.1).order == 2.0
         assert math.isinf(Chebyshev(0.1).order)
+
+
+class TestMatchLimitUsesMagnitude:
+    """Regression: the match limit scales with the largest measurement
+    *magnitude*, so all-non-positive vectors no longer clamp the limit to 0."""
+
+    @pytest.mark.parametrize("metric_cls", [Manhattan, Euclidean, Chebyshev])
+    def test_limit_positive_for_negative_measurements(self, metric_cls):
+        a = make_segment("c", [("f", -50.0, -10.0)], start=0.0, end=0.0)
+        b = make_segment("c", [("f", -50.5, -10.2)], start=0.0, end=0.0)
+        metric = metric_cls(0.2)
+        assert metric.limit(a, b) == pytest.approx(0.2 * 50.5)
+        assert metric.match(a, [_stored(b)]) is not None
+
+    @pytest.mark.parametrize("metric_cls", [Manhattan, Euclidean, Chebyshev])
+    def test_limit_unchanged_for_positive_measurements(self, metric_cls):
+        a = make_segment("c", [("f", 10.0, 100.0)], end=110.0)
+        b = make_segment("c", [("f", 10.0, 104.0)], end=110.0)
+        assert metric_cls(0.2).limit(a, b) == pytest.approx(0.2 * 110.0)

@@ -68,3 +68,32 @@ class TestEdgeCases:
         """Vectors of an unnormalised segment use times relative to its span."""
         rel = make_segment("c", [("a", 1.0, 2.0)], start=0.0, end=3.0)
         assert minkowski_vector(rel)[0] == 3.0
+
+
+class TestDurationIsUnconditional:
+    """Regression: the leading/trailing element is always ``end - start``.
+
+    An earlier revision selected ``end - start`` vs. ``end`` on the
+    *truthiness* of ``start``, treating ``start == 0.0`` as a special case;
+    the duration must be computed unconditionally for any start offset.
+    """
+
+    def test_minkowski_vector_nonzero_start(self):
+        seg = make_segment("c", [("a", 6.0, 7.0)], start=5.0, end=9.0)
+        np.testing.assert_allclose(minkowski_vector(seg), [4.0, 6.0, 7.0])
+
+    def test_minkowski_vector_negative_start(self):
+        seg = make_segment("c", [("a", -1.0, 1.0)], start=-2.0, end=2.0)
+        np.testing.assert_allclose(minkowski_vector(seg), [4.0, -1.0, 1.0])
+
+    def test_minkowski_vector_zero_start(self):
+        seg = make_segment("c", [("a", 1.0, 2.0)], start=0.0, end=3.0)
+        np.testing.assert_allclose(minkowski_vector(seg), [3.0, 1.0, 2.0])
+
+    def test_wavelet_vector_nonzero_start(self):
+        seg = make_segment("c", [("a", 6.0, 7.0)], start=5.0, end=9.0)
+        np.testing.assert_allclose(wavelet_vector(seg), [0.0, 6.0, 7.0, 4.0])
+
+    def test_wavelet_vector_negative_start(self):
+        seg = make_segment("c", [("a", -1.0, 1.0)], start=-2.0, end=2.0)
+        np.testing.assert_allclose(wavelet_vector(seg), [0.0, -1.0, 1.0, 4.0])

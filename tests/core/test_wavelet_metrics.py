@@ -111,3 +111,18 @@ class TestWaveletMatching:
     def test_empty_segment_matches_itself(self):
         seg = make_segment("c", [], end=5.0)
         assert AvgWave(0.2).match(seg, [_stored(seg)]) is not None
+
+    def test_limit_uses_coefficient_magnitude(self):
+        """Regression: wavelet fluctuations are signed; the match limit must
+        scale with the largest coefficient *magnitude*, not the signed max,
+        so transforms whose coefficients are all <= 0 can still match."""
+
+        class NegatedAvgWave(AvgWave):
+            def transformed(self, segment):
+                return -np.abs(super().transformed(segment)) - 1.0
+
+        a = make_segment("c", [("f", 1.0, 500.0)], end=950.0)
+        b = make_segment("c", [("f", 1.0, 500.5)], end=950.5)
+        metric = NegatedAvgWave(0.2)
+        assert metric.transformed(a).max() < 0.0
+        assert metric.match(a, [_stored(b)]) is not None

@@ -122,6 +122,72 @@ class TestEngineOutput:
         assert bounded.reduced.n_stored >= unbounded.reduced.n_stored
 
 
+class TestAutoDowngrade:
+    """A pooled executor with one effective worker is pure IPC overhead, so
+    the engine silently runs the serial path instead (output unchanged)."""
+
+    @pytest.mark.parametrize("pooled", ["thread", "process"])
+    def test_one_worker_pool_downgrades_to_serial(self, small_late_sender_trace, pooled):
+        result = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric("relDiff"),
+            PipelineConfig(executor=pooled, workers=1),
+        )
+        assert result.stats.executor == "serial"
+        assert result.stats.requested_executor == pooled
+        assert result.stats.downgraded
+
+    def test_downgraded_output_identical(self, small_late_sender_trace):
+        serial = reduce_pipeline(
+            small_late_sender_trace, create_metric("euclidean"), PipelineConfig(executor="serial")
+        )
+        downgraded = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric("euclidean"),
+            PipelineConfig(executor="process", workers=1),
+        )
+        assert serialize_reduced_trace(downgraded.reduced) == serialize_reduced_trace(
+            serial.reduced
+        )
+
+    def test_single_rank_trace_downgrades_even_with_many_workers(self, small_late_sender_trace):
+        from repro.trace.trace import SegmentedTrace
+
+        one_rank = SegmentedTrace(
+            name="one_rank", ranks=[small_late_sender_trace.ranks[0]]
+        )
+        result = reduce_pipeline(
+            one_rank, create_metric("relDiff"), PipelineConfig(executor="process", workers=4)
+        )
+        assert result.stats.executor == "serial"
+        assert result.stats.downgraded
+
+    def test_multi_worker_pool_not_downgraded(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric("relDiff"),
+            PipelineConfig(executor="thread", workers=2),
+        )
+        assert result.stats.executor == "thread"
+        assert not result.stats.downgraded
+
+    def test_serial_is_never_marked_downgraded(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace, create_metric("relDiff"), PipelineConfig(executor="serial")
+        )
+        assert result.stats.executor == "serial"
+        assert not result.stats.downgraded
+
+    def test_downgrade_noted_in_stats_rows(self, small_late_sender_trace):
+        result = reduce_pipeline(
+            small_late_sender_trace,
+            create_metric("relDiff"),
+            PipelineConfig(executor="process", workers=1),
+        )
+        executor_row = next(row for row in result.stats.rows() if row[0] == "executor")
+        assert "auto-downgraded" in executor_row[1]
+
+
 class TestStats:
     def test_counters_filled(self, small_late_sender_trace, executor):
         result = reduce_pipeline(
@@ -138,6 +204,9 @@ class TestStats:
         assert stats.store.lookups == stats.n_segments
         assert stats.store.hits == stats.n_possible_matches
         assert stats.stage_seconds.get("reduce", 0.0) >= 0.0
+        assert stats.match.calls == stats.n_possible_matches
+        assert stats.match.rows_compared >= stats.match.calls
+        assert stats.match.seconds >= 0.0
 
     def test_match_rate_matches_degree_of_matching(self, small_late_sender_trace):
         result = reduce_pipeline(
