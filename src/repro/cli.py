@@ -9,7 +9,10 @@ pipeline without writing any Python:
 * ``repro-trace trends <workload>``          — the retention-of-trends table
 * ``repro-trace figure <fig5|fig6|fig7|fig8>`` — regenerate a comparative figure
 * ``repro-trace pipeline <workload>``        — streaming parallel reduction with
-  per-stage instrumentation (executor/worker/store options)
+  per-stage instrumentation (executor/worker/store options); also ingests
+  trace files directly (``--trace``) and dumps workload traces (``--save-trace``)
+* ``repro-trace convert <in> <out>``         — convert a trace file between the
+  text and columnar-binary (``.rpb``) formats
 
 All commands accept ``--scale {smoke,default,paper}`` (default: the
 ``REPRO_SCALE`` environment variable, falling back to ``default``).
@@ -39,7 +42,8 @@ from repro.experiments.formatting import (
 from repro.experiments.thresholds import threshold_study_rows
 from repro.experiments.trend_tables import trend_table
 from repro.pipeline.engine import EXECUTORS, PipelineConfig, ReductionPipeline
-from repro.trace.io import serialize_reduced_trace, write_reduced_trace
+from repro.trace.formats import convert_trace, format_names, resolve_format
+from repro.trace.io import read_trace, serialize_reduced_trace, write_reduced_trace, write_trace
 from repro.util.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -116,7 +120,26 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline = sub.add_parser(
         "pipeline", help="streaming parallel reduction with per-stage instrumentation"
     )
-    pipeline.add_argument("workload", choices=ALL_WORKLOAD_NAMES)
+    pipeline.add_argument(
+        "workload",
+        nargs="?",
+        choices=ALL_WORKLOAD_NAMES,
+        help="workload to simulate and reduce (omit when using --trace)",
+    )
+    pipeline.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="reduce this trace file instead of simulating a workload "
+        "(format dispatched on extension: .rpb is columnar binary, else text)",
+    )
+    pipeline.add_argument(
+        "--save-trace",
+        default=None,
+        metavar="FILE",
+        help="also write the workload's full raw trace to FILE "
+        "(format dispatched on extension)",
+    )
     pipeline.add_argument(
         "--method", choices=METRIC_NAMES, default="relDiff", help="similarity method"
     )
@@ -147,6 +170,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--output", default=None, help="stream the reduced trace to this file"
+    )
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a trace file between the text and binary (.rpb) formats",
+    )
+    convert.add_argument("input", help="source trace file")
+    convert.add_argument("output", help="destination trace file")
+    convert.add_argument(
+        "--from-format",
+        choices=format_names(),
+        default=None,
+        help="source format (default: dispatch on the input extension)",
+    )
+    convert.add_argument(
+        "--to-format",
+        choices=format_names(),
+        default=None,
+        help="destination format (default: dispatch on the output extension)",
     )
 
     return parser
@@ -195,7 +237,7 @@ def _cmd_trends(workload_name: str, methods: Optional[Sequence[str]], scale) -> 
 
 
 def _cmd_pipeline(args, scale) -> str:
-    from repro.evaluation.filesize import full_trace_bytes
+    from repro.evaluation.filesize import full_trace_bytes, full_trace_bytes_from_file
 
     # Validate argument values before the expensive trace generation.
     try:
@@ -206,26 +248,63 @@ def _cmd_pipeline(args, scale) -> str:
             store_capacity=args.store_capacity,
             merge=args.merge,
         )
+        if args.trace is not None and args.workload is not None:
+            raise ValueError("give either a workload or --trace FILE, not both")
+        if args.trace is None and args.workload is None:
+            raise ValueError("a workload name or --trace FILE is required")
+        if args.trace is not None and args.save_trace is not None:
+            raise ValueError("--save-trace only applies when simulating a workload")
     except ValueError as error:
         raise _UsageError(str(error)) from error
-    workload = build_workload(args.workload, scale)
-    segmented = workload.run_segmented()
-    result = ReductionPipeline(metric, config).reduce(segmented)
 
-    full_bytes = full_trace_bytes(segmented)
+    if args.trace is not None:
+        from pathlib import Path
+
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            raise _UsageError(f"trace file {trace_path} does not exist")
+        source = trace_path
+        rows_head = [
+            ["trace file", f"{trace_path} ({resolve_format(trace_path).name} format)"],
+        ]
+        full_bytes = full_trace_bytes_from_file(trace_path)
+        segmented = None
+    else:
+        workload = build_workload(args.workload, scale)
+        if args.save_trace is not None:
+            trace = workload.run()
+            write_trace(trace, args.save_trace)
+            segmented = trace.segmented()
+        else:
+            segmented = workload.run_segmented()
+        source = segmented
+        rows_head = [["workload", args.workload]]
+        full_bytes = full_trace_bytes(segmented)
+    result = ReductionPipeline(metric, config).reduce(source)
+
     reduced_bytes = result.reduced.size_bytes()
     rows = [
-        ["workload", args.workload],
+        *rows_head,
         ["method", metric.describe()],
         *result.stats.rows(),
         ["full trace bytes", full_bytes],
         ["reduced trace bytes", reduced_bytes],
         ["% file size", f"{100.0 * reduced_bytes / full_bytes:.2f}" if full_bytes else "-"],
     ]
+    if args.save_trace is not None:
+        from pathlib import Path
+
+        saved = Path(args.save_trace)
+        rows.append(
+            ["trace written to", f"{saved} ({saved.stat().st_size} bytes, "
+             f"{resolve_format(saved).name} format)"]
+        )
     if result.merged is not None:
         rows.append(["merged trace bytes", result.merged.size_bytes()])
     identical = True
     if args.verify:
+        if segmented is None:
+            segmented = read_trace(source).segmented()
         serial = TraceReducer(create_metric(args.method, args.threshold)).reduce(segmented)
         identical = serialize_reduced_trace(serial) == serialize_reduced_trace(result.reduced)
         rows.append(["matches serial reducer", "yes" if identical else "NO"])
@@ -235,14 +314,45 @@ def _cmd_pipeline(args, scale) -> str:
             rows.append(["written to", f"{args.output} ({written} bytes)"])
         else:
             rows.append(["written to", "(skipped: verification failed)"])
-    report = format_table(
-        ["property", "value"],
-        rows,
-        title=f"pipeline reduction — {args.workload} (scale={scale.name})",
-    )
+    subject = args.workload if args.trace is None else args.trace
+    title = f"pipeline reduction — {subject}"
+    if args.trace is None:
+        title += f" (scale={scale.name})"
+    report = format_table(["property", "value"], rows, title=title)
     if not identical:
         raise _VerificationFailed(report)
     return report
+
+
+def _cmd_convert(args) -> str:
+    from pathlib import Path
+
+    if not Path(args.input).exists():
+        raise _UsageError(f"trace file {args.input} does not exist")
+    try:
+        report = convert_trace(
+            args.input,
+            args.output,
+            from_format=args.from_format,
+            to_format=args.to_format,
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+    ratio = (
+        f"{100.0 * report.dest_bytes / report.source_bytes:.2f}"
+        if report.source_bytes
+        else "-"
+    )
+    rows = [
+        ["input", f"{report.source} ({report.source_format} format)"],
+        ["output", f"{report.dest} ({report.dest_format} format)"],
+        ["ranks", report.n_ranks],
+        ["records", report.n_records],
+        ["input bytes", report.source_bytes],
+        ["output bytes", report.dest_bytes],
+        ["% input size", ratio],
+    ]
+    return format_table(["property", "value"], rows, title="trace conversion")
 
 
 def _cmd_figure(which: str, scale) -> str:
@@ -291,6 +401,8 @@ def _dispatch(args, scale, parser) -> str:
         output = _cmd_figure(args.which, scale)
     elif args.command == "pipeline":
         output = _cmd_pipeline(args, scale)
+    elif args.command == "convert":
+        output = _cmd_convert(args)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return output

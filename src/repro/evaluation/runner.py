@@ -87,6 +87,22 @@ class PreparedWorkload:
             workload=workload,
         )
 
+    @classmethod
+    def from_file(cls, path, name: Optional[str] = None) -> "PreparedWorkload":
+        """Prepare a trace file (text or ``.rpb``; dispatched on extension).
+
+        The four criteria are format-independent: ``full_bytes`` is the
+        text-equivalent serialization either way, so evaluating a trace and
+        evaluating its converted twin produce identical results.
+        """
+        from pathlib import Path
+
+        from repro.trace.io import read_trace
+
+        path = Path(path)
+        trace = read_trace(path)
+        return cls.from_segmented(name or path.stem, trace.segmented())
+
 
 def evaluate_method(
     prepared: PreparedWorkload,
@@ -96,6 +112,7 @@ def evaluate_method(
     keep_comparison: bool = True,
     backend: str = "serial",
     pipeline_config: Optional[PipelineConfig] = None,
+    pipeline_source=None,
 ) -> EvaluationResult:
     """Run one similarity metric over a prepared workload.
 
@@ -104,11 +121,22 @@ def evaluate_method(
     parallel pipeline (``pipeline_config`` selects executor/workers/store).
     Both backends produce identical criteria — the pipeline's ordering is
     deterministic and its default store is unbounded.
+
+    ``pipeline_source`` (pipeline backend only) makes the pipeline ingest a
+    trace file directly — text or indexed binary, with binary sources
+    dispatched as ``(path, rank)`` shards to pool workers — instead of the
+    in-memory segmented trace.  The file must hold the same trace the
+    prepared workload was built from (e.g. via ``PreparedWorkload.from_file``
+    on the same path); the criteria are still computed against
+    ``prepared.segmented``.
     """
     if backend == "serial":
+        if pipeline_source is not None:
+            raise ValueError("pipeline_source requires backend='pipeline'")
         reduced: ReducedTrace = TraceReducer(metric).reduce(prepared.segmented)
     elif backend == "pipeline":
-        reduced = ReductionPipeline(metric, pipeline_config).reduce(prepared.segmented).reduced
+        source = prepared.segmented if pipeline_source is None else pipeline_source
+        reduced = ReductionPipeline(metric, pipeline_config).reduce(source).reduced
     else:
         raise ValueError(f"backend must be 'serial' or 'pipeline', got {backend!r}")
     reconstructed = reconstruct(reduced)

@@ -26,9 +26,21 @@ Executors
     workers copy-on-write and tasks carry only a rank index (zero-copy
     dispatch); otherwise rank payloads are pickled to the workers.
 
-Pooled executors that pickle payloads throttle submission to a bounded
-in-flight window so that a trace with thousands of ranks never has every
-rank's segment list materialized at once.
+Task dispatch (recorded in ``PipelineStats.dispatch``)
+------------------------------------------------------
+``inline``
+    The serial path: no pool, streams reduced in place.
+``shard``
+    Indexed file sources (``.rpb``): pooled workers receive ``(path, rank)``
+    shard tasks and each opens the file and decodes only its rank's byte
+    range — ingestion parallelises and no rank payload is ever pickled.
+``fork``
+    In-memory sources on fork platforms: workers inherit the trace
+    copy-on-write and tasks carry only a rank index.
+``payload``
+    The fallback: each rank's segment list is materialized and pickled to a
+    worker.  Submission is throttled to a bounded in-flight window so a
+    trace with thousands of ranks never has every rank materialized at once.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ import multiprocessing
 import os
 import threading
 import time
+from pathlib import Path
 from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Optional
@@ -47,7 +60,13 @@ from repro.core.reduced import ReducedRankTrace, ReducedTrace
 from repro.core.reducer import TraceReducer
 from repro.pipeline.stats import PipelineStats, time_stage
 from repro.pipeline.store import StoreCounters, create_store
-from repro.pipeline.stream import SegmentSource, rank_segment_streams, source_name
+from repro.pipeline.stream import (
+    SegmentSource,
+    indexed_source_ranks,
+    rank_segment_streams,
+    shard_segment_stream,
+    source_name,
+)
 from repro.trace.segments import iter_segments
 from repro.trace.trace import SegmentedRankTrace, SegmentedTrace, Trace
 from repro.trace.merge import MergedReducedTrace, merge_reduced_trace
@@ -131,6 +150,24 @@ def _reduce_rank_task(
     return reduced, store.counters, match_counters
 
 
+def _reduce_shard_task(
+    metric: SimilarityMetric,
+    path: str,
+    rank: int,
+    store_capacity: Optional[int],
+) -> tuple[ReducedRankTrace, StoreCounters, MatchCounters]:
+    """One worker task for indexed file sources: a ``(path, rank)`` shard.
+
+    The task payload is just the file path and a rank id; the worker opens
+    the file itself, seeks to the rank's byte range, and decodes only that
+    rank — no rank data crosses the pickle boundary in either direction
+    except the (much smaller) reduced result.
+    """
+    return _reduce_rank_task(
+        metric, rank, shard_segment_stream(path, rank), store_capacity
+    )
+
+
 #: In-memory trace inherited by fork()ed workers (set around pool creation).
 #: Fork children see the parent's memory copy-on-write, so rank payloads never
 #: cross a pickle boundary — tasks carry only a rank *index*.  The lock
@@ -187,14 +224,16 @@ class ReductionPipeline:
         config = self.config
         workers = config.resolved_workers()
         executor = config.executor
+        shard_ranks = indexed_source_ranks(source)
         if executor != "serial" and (
             workers == 1
             or (isinstance(source, (SegmentedTrace, Trace)) and len(source.ranks) <= 1)
+            or (shard_ranks is not None and len(shard_ranks) <= 1)
         ):
             # One effective worker *or* one rank to reduce: a pool can only
-            # add startup and IPC overhead, so run the serial path.  (File
-            # sources don't reveal their rank count up front, so a 1-rank
-            # file still goes through the pool.)
+            # add startup and IPC overhead, so run the serial path.  (Indexed
+            # files reveal their rank count in the footer; forward-only text
+            # files don't, so a 1-rank text file still goes through the pool.)
             executor = "serial"
         stats = PipelineStats(
             executor=executor, workers=workers, requested_executor=config.executor
@@ -202,14 +241,20 @@ class ReductionPipeline:
         started = time.perf_counter()
 
         if executor == "serial":
+            stats.dispatch = "inline"
             ranks = self._reduce_serial(rank_segment_streams(source), stats)
+        elif shard_ranks is not None:
+            stats.dispatch = "shard"
+            ranks = self._reduce_sharded(Path(source), shard_ranks, stats)
         elif (
             executor == "process"
             and isinstance(source, (SegmentedTrace, Trace))
             and _fork_available()
         ):
+            stats.dispatch = "fork"
             ranks = self._reduce_forked(source, stats)
         else:
+            stats.dispatch = "payload"
             ranks = self._reduce_pooled(rank_segment_streams(source), stats)
 
         reduced = ReducedTrace(
@@ -279,6 +324,36 @@ class ReductionPipeline:
                         results = [future.result() for future in futures]
             finally:
                 _FORK_SOURCE = None
+
+        ranks: list[ReducedRankTrace] = []
+        for reduced_rank, counters, match_counters in results:
+            ranks.append(reduced_rank)
+            stats.store = stats.store.merged_with(counters)
+            stats.match = stats.match.merged_with(match_counters)
+        return ranks
+
+    def _reduce_sharded(
+        self, path: Path, shard_ranks: list[int], stats: PipelineStats
+    ) -> list[ReducedRankTrace]:
+        """Fan ``(path, rank)`` shard tasks out over a pool (indexed files).
+
+        Task payloads carry no trace data: each worker opens the file and
+        decodes only its rank's byte range, so ingestion itself parallelises
+        and no pickled rank payloads cross the pool boundary.  No in-flight
+        window is needed — a pending shard task is just a path and an int.
+        """
+        config = self.config
+        workers = min(config.resolved_workers(), max(1, len(shard_ranks)))
+        with self._make_executor(workers) as pool:
+            with time_stage(stats, "reduce"):
+                futures = [
+                    pool.submit(
+                        _reduce_shard_task, self.metric, str(path), rank,
+                        config.store_capacity,
+                    )
+                    for rank in shard_ranks
+                ]
+                results = [future.result() for future in futures]
 
         ranks: list[ReducedRankTrace] = []
         for reduced_rank, counters, match_counters in results:

@@ -41,6 +41,10 @@ class PipelineStats:
     #: Executor named in the config; differs from ``executor`` when the
     #: engine auto-downgraded a one-worker pool to the serial path.
     requested_executor: str = ""
+    #: How rank tasks reached the workers: ``inline`` (serial), ``shard``
+    #: ((path, rank) tasks against an indexed file), ``fork`` (copy-on-write
+    #: in-memory trace), or ``payload`` (pickled segment lists).
+    dispatch: str = ""
 
     @property
     def match_rate(self) -> float:
@@ -68,6 +72,7 @@ class PipelineStats:
             executor_cell += f" (auto-downgraded from {self.requested_executor})"
         rows: list[list] = [
             ["executor", executor_cell],
+            ["task dispatch", self.dispatch or "-"],
             ["ranks", self.nprocs],
             ["segments", self.n_segments],
             ["stored representatives", self.n_stored],

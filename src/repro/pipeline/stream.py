@@ -1,33 +1,73 @@
 """Streaming ingestion: uniform per-rank segment streams from any source.
 
 The pipeline engine consumes ``(rank, segment iterator)`` pairs.  This module
-produces them from the three places a trace can live:
+produces them from the places a trace can live:
 
 * an in-memory :class:`~repro.trace.trace.SegmentedTrace` (already segmented);
 * an in-memory raw :class:`~repro.trace.trace.Trace` (segmented lazily);
-* a trace file on disk (parsed *and* segmented lazily, line by line, via the
-  chunked readers in :mod:`repro.trace.io` — the whole trace is never
-  materialized).
+* a **text** trace file on disk (parsed *and* segmented lazily, line by line,
+  via the chunked readers in :mod:`repro.trace.io` — the whole trace is never
+  materialized, but streams must be consumed in file order);
+* an **indexed** trace file (``.rpb``): each rank decodes independently from
+  its byte range, so streams may be consumed in any order — and a worker
+  process can open the file itself and decode exactly one rank
+  (:func:`shard_segment_stream`), which is how the engine ships
+  ``(path, rank)`` shard tasks instead of pickled rank payloads.
 
-Segments are produced one at a time by :func:`repro.trace.segments.iter_segments`,
-so a consumer that also processes them one at a time (the serial executor
-path) runs in memory bounded by the largest single segment plus the
-representative store.
+Segments are produced one at a time, so a consumer that also processes them
+one at a time (the serial executor path) runs in memory bounded by the
+largest single segment plus the representative store.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Tuple, Union
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
-from repro.trace.io import iter_rank_record_streams
+from repro.trace.formats import resolve_format
 from repro.trace.segments import Segment, iter_segments
 from repro.trace.trace import SegmentedTrace, Trace
 
-__all__ = ["SegmentSource", "rank_segment_streams", "source_name"]
+__all__ = [
+    "SegmentSource",
+    "rank_segment_streams",
+    "source_name",
+    "indexed_source_ranks",
+    "shard_segment_stream",
+]
 
 #: Anything the pipeline can ingest.
 SegmentSource = Union[SegmentedTrace, Trace, str, Path]
+
+
+def indexed_source_ranks(source: SegmentSource) -> Optional[list[int]]:
+    """Rank ids of an indexed (random-access) file source, else ``None``.
+
+    ``None`` means the source is in-memory or a forward-only file; a list
+    means every listed rank can be decoded independently via
+    :func:`shard_segment_stream`.
+    """
+    if not isinstance(source, (str, Path)):
+        return None
+    fmt = resolve_format(source)
+    if fmt.rank_ids is None:
+        return None
+    return fmt.rank_ids(Path(source))
+
+
+def shard_segment_stream(path: str | Path, rank: int) -> Iterator[Segment]:
+    """Decode one rank of an indexed trace file straight to segments.
+
+    This is the unit of work a ``(path, rank)`` shard task performs inside a
+    pool worker: open the file, seek to the rank's byte range, decode.
+    """
+    fmt = resolve_format(path)
+    if fmt.rank_segments is None:
+        raise ValueError(
+            f"trace format {fmt.name!r} is not indexed; {path} cannot be "
+            "decoded rank-by-rank"
+        )
+    return fmt.rank_segments(Path(path), rank)
 
 
 def rank_segment_streams(
@@ -36,8 +76,9 @@ def rank_segment_streams(
     """Yield ``(rank, segment stream)`` pairs for any supported source.
 
     Streams are yielded in rank order (the order ranks appear in the trace).
-    For file sources each rank's stream must be consumed before advancing to
-    the next pair (the underlying reader is a single forward pass).
+    For forward-only (text) file sources each rank's stream must be consumed
+    before advancing to the next pair; indexed file sources have no such
+    constraint.
     """
     if isinstance(source, SegmentedTrace):
         for rank_trace in source.ranks:
@@ -48,8 +89,14 @@ def rank_segment_streams(
         for rank_trace in source.ranks:
             yield rank_trace.rank, iter_segments(rank_trace.records)
     elif isinstance(source, (str, Path)):
-        for rank, records in iter_rank_record_streams(source):
-            yield rank, iter_segments(records)
+        path = Path(source)
+        fmt = resolve_format(path)
+        if fmt.rank_segments is not None and fmt.rank_ids is not None:
+            for rank in fmt.rank_ids(path):
+                yield rank, fmt.rank_segments(path, rank)
+        else:
+            for rank, records in fmt.rank_streams(path):
+                yield rank, iter_segments(records)
     else:
         raise TypeError(
             "segment source must be a SegmentedTrace, a Trace, or a trace file "
@@ -62,5 +109,3 @@ def source_name(source: SegmentSource) -> str:
     if isinstance(source, (SegmentedTrace, Trace)):
         return source.name
     return Path(source).stem
-
-

@@ -17,10 +17,21 @@ from repro.trace.records import RecordKind, TraceRecord
 from repro.trace.segments import Segment, SegmentationError, segment_rank_records, structural_key
 from repro.trace.trace import RankTrace, SegmentedRankTrace, SegmentedTrace, Trace
 from repro.trace.io import (
+    read_trace,
     reduced_trace_size_bytes,
     serialize_records,
     serialize_segment,
     trace_size_bytes,
+    write_trace,
+)
+from repro.trace.formats import (
+    ConversionReport,
+    TraceFormat,
+    convert_trace,
+    format_for_path,
+    format_names,
+    resolve_format,
+    trace_format,
 )
 from repro.trace.merge import merge_records
 
@@ -43,5 +54,14 @@ __all__ = [
     "serialize_segment",
     "trace_size_bytes",
     "reduced_trace_size_bytes",
+    "read_trace",
+    "write_trace",
+    "ConversionReport",
+    "TraceFormat",
+    "convert_trace",
+    "format_for_path",
+    "format_names",
+    "resolve_format",
+    "trace_format",
     "merge_records",
 ]

@@ -1,0 +1,585 @@
+"""Columnar binary trace format (``.rpb``) with a per-rank byte-range index.
+
+The text format in :mod:`repro.trace.io` is the compatibility baseline: one
+whitespace-delimited line per record, parsed in Python, strictly forward.  At
+scale that parse dominates file-backed reduction runs, so this module stores
+the same records as NumPy column arrays:
+
+* one **rank block** per rank, containing the record columns
+  (kind ``uint8``, timestamp ``float64``, name id ``uint32``) plus the packed
+  MPI columns (positions, op ids, field-presence mask, root/peer/source/tag
+  values, byte counts, communicator ids) — only records that carry MPI info
+  occupy MPI rows;
+* one global **string table** (record names, MPI ops, communicator names),
+  so names are stored once and records reference them by id;
+* a **footer index** mapping each rank to the byte range of its block, so a
+  reader can decode any single rank without touching the rest of the file.
+
+File layout::
+
+    [magic "RPB1"] [rank block 0] ... [rank block N-1] [footer JSON]
+    [footer offset: uint64 LE] [tail magic "RPBX"]
+
+Each rank block is a fixed sequence of arrays written with :func:`numpy.save`
+(no pickling), so the format is self-describing at the array level and reads
+back with :func:`numpy.load`.
+
+Timestamps are ``float64`` end to end: unlike the text format, which
+quantizes to two decimals on write, a binary write→read round-trip is exact.
+
+Two decoders are provided per rank: :func:`iter_rank_records` materializes
+:class:`~repro.trace.records.TraceRecord` objects (exactness, conversion),
+while :func:`iter_rank_segments` runs the segmentation state machine directly
+over the columns — the pipeline's fast path, which never builds record
+objects at all.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from functools import cached_property, lru_cache
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.trace.events import Event, MpiCallInfo
+from repro.trace.records import RecordKind, TraceRecord
+from repro.trace.segments import Segment, iter_segments
+from repro.trace.trace import RankTrace, Trace
+
+__all__ = [
+    "RPB_SUFFIX",
+    "RpbFormatError",
+    "RpbRankEntry",
+    "RpbIndex",
+    "RpbTraceWriter",
+    "read_index",
+    "rank_ids",
+    "iter_rank_records",
+    "iter_rank_segments",
+    "iter_rank_record_streams_rpb",
+    "read_trace_rpb",
+    "write_trace_rpb",
+]
+
+RPB_SUFFIX = ".rpb"
+
+_MAGIC = b"RPB1"
+_TAIL_MAGIC = b"RPBX"
+_TAIL = struct.Struct("<Q4s")  # footer offset + tail magic
+_VERSION = 1
+
+#: Bit assignments of the MPI field-presence mask.
+_HAS_ROOT, _HAS_PEER, _HAS_SOURCE, _HAS_TAG = 1, 2, 4, 8
+
+#: RecordKind by integer value (values are 0..3 in definition order).
+_KIND_BY_VALUE = tuple(RecordKind)
+
+_KIND_SEGMENT_BEGIN = int(RecordKind.SEGMENT_BEGIN)
+_KIND_SEGMENT_END = int(RecordKind.SEGMENT_END)
+_KIND_ENTER = int(RecordKind.ENTER)
+_KIND_EXIT = int(RecordKind.EXIT)
+
+
+class RpbFormatError(ValueError):
+    """Raised when a file is not a valid ``.rpb`` trace."""
+
+
+@dataclass(frozen=True, slots=True)
+class RpbRankEntry:
+    """One rank's entry in the footer index."""
+
+    rank: int
+    offset: int
+    length: int
+    n_records: int
+
+
+@dataclass(frozen=True)  # no slots: entry_for caches its lookup table in __dict__
+class RpbIndex:
+    """Decoded footer: per-rank byte ranges plus the string table."""
+
+    version: int
+    entries: tuple[RpbRankEntry, ...]
+    strings: tuple[str, ...]
+
+    @property
+    def ranks(self) -> list[int]:
+        return [entry.rank for entry in self.entries]
+
+    @property
+    def n_records(self) -> int:
+        return sum(entry.n_records for entry in self.entries)
+
+    @cached_property
+    def _entries_by_rank(self) -> dict[int, RpbRankEntry]:
+        return {entry.rank: entry for entry in self.entries}
+
+    def entry_for(self, rank: int) -> RpbRankEntry:
+        try:
+            return self._entries_by_rank[rank]
+        except KeyError:
+            raise KeyError(
+                f"rank {rank} not present in trace index (ranks: {self.ranks})"
+            ) from None
+
+
+class _StringTable:
+    """Intern strings to dense ids while writing."""
+
+    def __init__(self) -> None:
+        self.strings: list[str] = []
+        self._ids: dict[str, int] = {}
+
+    def id(self, value: str) -> int:
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self.strings)
+            self._ids[value] = ident
+            self.strings.append(value)
+        return ident
+
+
+def _save(handle: BinaryIO, values, dtype) -> None:
+    np.save(handle, np.asarray(values, dtype=dtype), allow_pickle=False)
+
+
+def _load(handle: BinaryIO) -> np.ndarray:
+    return np.load(handle, allow_pickle=False)
+
+
+class RpbTraceWriter:
+    """Incremental ``.rpb`` writer: one rank block at a time, footer on close.
+
+    Ranks may be written in any order but each rank only once; memory is
+    bounded by the largest single rank (the columns are buffered as Python
+    lists until the block is flushed).
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._handle: Optional[BinaryIO] = self._path.open("wb")
+        self._handle.write(_MAGIC)
+        self._entries: list[RpbRankEntry] = []
+        self._strings = _StringTable()
+
+    def write_rank(self, rank: int, records: Iterable[TraceRecord]) -> int:
+        """Encode one rank's records as a column block; returns the record count."""
+        if self._handle is None:
+            raise ValueError("writer is closed")
+        if any(entry.rank == rank for entry in self._entries):
+            raise ValueError(f"rank {rank} was already written to {self._path}")
+        string_id = self._strings.id
+        kinds: list[int] = []
+        times: list[float] = []
+        names: list[int] = []
+        mpi_pos: list[int] = []
+        mpi_op: list[int] = []
+        mpi_mask: list[int] = []
+        mpi_vals: list[tuple[int, int, int, int]] = []
+        mpi_nbytes: list[int] = []
+        mpi_comm: list[int] = []
+        for position, record in enumerate(records):
+            if record.rank != rank:
+                raise ValueError(
+                    f"record for rank {record.rank} in rank-{rank} block of {self._path}"
+                )
+            kinds.append(int(record.kind))
+            times.append(record.timestamp)
+            names.append(string_id(record.name))
+            mpi = record.mpi
+            if mpi is not None:
+                mask = 0
+                if mpi.root is not None:
+                    mask |= _HAS_ROOT
+                if mpi.peer is not None:
+                    mask |= _HAS_PEER
+                if mpi.source is not None:
+                    mask |= _HAS_SOURCE
+                if mpi.tag is not None:
+                    mask |= _HAS_TAG
+                mpi_pos.append(position)
+                mpi_op.append(string_id(mpi.op))
+                mpi_mask.append(mask)
+                mpi_vals.append(
+                    (mpi.root or 0, mpi.peer or 0, mpi.source or 0, mpi.tag or 0)
+                )
+                mpi_nbytes.append(mpi.nbytes)
+                mpi_comm.append(string_id(mpi.comm))
+        offset = self._handle.tell()
+        _save(self._handle, kinds, np.uint8)
+        _save(self._handle, times, np.float64)
+        _save(self._handle, names, np.uint32)
+        _save(self._handle, mpi_pos, np.int64)
+        _save(self._handle, mpi_op, np.uint32)
+        _save(self._handle, mpi_mask, np.uint8)
+        vals = np.asarray(mpi_vals, dtype=np.int64).reshape(len(mpi_vals), 4)
+        np.save(self._handle, vals, allow_pickle=False)
+        _save(self._handle, mpi_nbytes, np.int64)
+        _save(self._handle, mpi_comm, np.uint32)
+        length = self._handle.tell() - offset
+        self._entries.append(
+            RpbRankEntry(rank=rank, offset=offset, length=length, n_records=len(kinds))
+        )
+        return len(kinds)
+
+    def close(self) -> None:
+        """Write the footer index and seal the file."""
+        if self._handle is None:
+            return
+        footer_offset = self._handle.tell()
+        footer = {
+            "version": _VERSION,
+            "ranks": [
+                [entry.rank, entry.offset, entry.length, entry.n_records]
+                for entry in self._entries
+            ],
+            "strings": self._strings.strings,
+        }
+        self._handle.write(json.dumps(footer, separators=(",", ":")).encode("utf-8"))
+        self._handle.write(_TAIL.pack(footer_offset, _TAIL_MAGIC))
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "RpbTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def write_trace_rpb(trace: Trace, path: str | Path) -> None:
+    """Write a raw trace to ``path`` in the columnar binary format."""
+    with RpbTraceWriter(path) as writer:
+        for rank_trace in trace.ranks:
+            writer.write_rank(rank_trace.rank, rank_trace.records)
+
+
+def read_index(path: str | Path) -> RpbIndex:
+    """Read only the footer index of an ``.rpb`` file (magic, ranges, strings).
+
+    Parsed footers are cached per ``(path, mtime, size)``: random-access
+    decoders hit the index once per rank, and re-parsing the footer JSON
+    (which holds the whole string table) would otherwise rival the column
+    decode it indexes.  Rewriting the file changes the stat key, so stale
+    entries are never served.
+    """
+    path = Path(path)
+    stat = path.stat()
+    return _read_index_cached(str(path), stat.st_mtime_ns, stat.st_size)
+
+
+@lru_cache(maxsize=64)
+def _read_index_cached(path_str: str, mtime_ns: int, size: int) -> RpbIndex:
+    return _read_index(Path(path_str))
+
+
+def _read_index(path: Path) -> RpbIndex:
+    with path.open("rb") as handle:
+        if handle.read(len(_MAGIC)) != _MAGIC:
+            raise RpbFormatError(f"{path} is not an .rpb trace (bad magic)")
+        handle.seek(0, 2)
+        size = handle.tell()
+        if size < len(_MAGIC) + _TAIL.size:
+            raise RpbFormatError(f"{path} is truncated (no footer)")
+        handle.seek(size - _TAIL.size)
+        footer_offset, tail_magic = _TAIL.unpack(handle.read(_TAIL.size))
+        if tail_magic != _TAIL_MAGIC:
+            raise RpbFormatError(f"{path} is truncated or corrupt (bad tail magic)")
+        if not len(_MAGIC) <= footer_offset <= size - _TAIL.size:
+            raise RpbFormatError(f"{path} has an out-of-range footer offset")
+        handle.seek(footer_offset)
+        try:
+            footer = json.loads(handle.read(size - _TAIL.size - footer_offset))
+        except ValueError as error:
+            raise RpbFormatError(f"{path} has a corrupt footer: {error}") from error
+    entries = tuple(
+        RpbRankEntry(rank=r, offset=o, length=l, n_records=n)
+        for r, o, l, n in footer["ranks"]
+    )
+    return RpbIndex(
+        version=footer["version"], entries=entries, strings=tuple(footer["strings"])
+    )
+
+
+def rank_ids(path: str | Path) -> list[int]:
+    """Ranks present in the file, in block (write) order."""
+    return read_index(path).ranks
+
+
+@dataclass(slots=True)
+class _RankColumns:
+    """One decoded rank block."""
+
+    rank: int
+    kind: np.ndarray
+    time: np.ndarray
+    name: np.ndarray
+    mpi_pos: np.ndarray
+    mpi_op: np.ndarray
+    mpi_mask: np.ndarray
+    mpi_vals: np.ndarray
+    mpi_nbytes: np.ndarray
+    mpi_comm: np.ndarray
+    strings: tuple[str, ...]
+
+    def mpi_by_position(self) -> dict[int, MpiCallInfo]:
+        """Reconstruct the MPI info objects, keyed by record position.
+
+        Distinct parameter combinations are constructed once and shared
+        (``MpiCallInfo`` is frozen, so sharing is safe): real traces repeat a
+        handful of call shapes millions of times, and the dataclass
+        construction — not the array decode — is the expensive part.
+        """
+        strings = self.strings
+        out: dict[int, MpiCallInfo] = {}
+        cache: dict[tuple, MpiCallInfo] = {}
+        positions = self.mpi_pos.tolist()
+        ops = self.mpi_op.tolist()
+        masks = self.mpi_mask.tolist()
+        vals = self.mpi_vals.tolist()
+        nbytes = self.mpi_nbytes.tolist()
+        comms = self.mpi_comm.tolist()
+        for row in range(len(positions)):
+            root, peer, source, tag = vals[row]
+            key = (ops[row], masks[row], root, peer, source, tag, nbytes[row], comms[row])
+            info = cache.get(key)
+            if info is None:
+                mask = masks[row]
+                info = MpiCallInfo(
+                    op=strings[ops[row]],
+                    root=root if mask & _HAS_ROOT else None,
+                    peer=peer if mask & _HAS_PEER else None,
+                    source=source if mask & _HAS_SOURCE else None,
+                    tag=tag if mask & _HAS_TAG else None,
+                    nbytes=nbytes[row],
+                    comm=strings[comms[row]],
+                )
+                cache[key] = info
+            out[positions[row]] = info
+        return out
+
+
+def _load_columns(handle: BinaryIO, entry: RpbRankEntry, strings: tuple[str, ...]) -> _RankColumns:
+    handle.seek(entry.offset)
+    columns = _RankColumns(
+        rank=entry.rank,
+        kind=_load(handle),
+        time=_load(handle),
+        name=_load(handle),
+        mpi_pos=_load(handle),
+        mpi_op=_load(handle),
+        mpi_mask=_load(handle),
+        mpi_vals=_load(handle),
+        mpi_nbytes=_load(handle),
+        mpi_comm=_load(handle),
+        strings=strings,
+    )
+    if len(columns.kind) != entry.n_records:
+        raise RpbFormatError(
+            f"rank {entry.rank} block holds {len(columns.kind)} records, "
+            f"index says {entry.n_records}"
+        )
+    return columns
+
+
+def _read_rank_columns(path: Path, rank: int, index: Optional[RpbIndex] = None) -> _RankColumns:
+    index = index or read_index(path)
+    entry = index.entry_for(rank)
+    with path.open("rb") as handle:
+        return _load_columns(handle, entry, index.strings)
+
+
+def _records_from_columns(columns: _RankColumns) -> Iterator[TraceRecord]:
+    strings = columns.strings
+    mpi = columns.mpi_by_position()
+    rank = columns.rank
+    kinds = columns.kind.tolist()
+    times = columns.time.tolist()
+    names = columns.name.tolist()
+    for position in range(len(kinds)):
+        kind = kinds[position]
+        if kind > _KIND_SEGMENT_END:
+            raise RpbFormatError(f"unknown record kind code {kind}")
+        yield TraceRecord(
+            kind=_KIND_BY_VALUE[kind],
+            rank=rank,
+            timestamp=times[position],
+            name=strings[names[position]],
+            mpi=mpi.get(position),
+        )
+
+
+def iter_rank_records(path: str | Path, rank: int) -> Iterator[TraceRecord]:
+    """Decode one rank's records via the footer index (random access)."""
+    columns = _read_rank_columns(Path(path), rank)
+    yield from _records_from_columns(columns)
+
+
+def _segments_from_columns(columns: _RankColumns) -> Iterator[Segment]:
+    """Malformed-rank fallback: segment via the reference state machine.
+
+    Only runs when :func:`_segments_from_columns_fast` declines a rank, so
+    per-record speed is irrelevant here; delegating to
+    :func:`repro.trace.segments.iter_segments` over reconstructed records
+    keeps the rules and error messages defined in exactly one place.
+    """
+    return iter_segments(_records_from_columns(columns))
+
+
+def _columns_well_formed(
+    kinds: np.ndarray,
+    names: np.ndarray,
+    begin_pos: np.ndarray,
+    end_pos: np.ndarray,
+    enter_pos: np.ndarray,
+    exit_pos: np.ndarray,
+    event_seg: np.ndarray,
+) -> bool:
+    """Vectorized segmentation-validity check (the rules of ``iter_segments``).
+
+    True iff segment markers pair up without nesting, ENTER/EXIT strictly
+    alternate with matching names, and every event lies strictly inside one
+    segment.  On False the caller re-runs the record-by-record state machine,
+    which raises the precise :class:`SegmentationError`.
+    """
+    if kinds.size and int(kinds.max()) > _KIND_SEGMENT_END:
+        return False
+    if len(begin_pos) != len(end_pos) or len(enter_pos) != len(exit_pos):
+        return False
+    if len(begin_pos):
+        if not (
+            np.all(begin_pos < end_pos)
+            and np.all(end_pos[:-1] < begin_pos[1:])
+            and np.array_equal(names[begin_pos], names[end_pos])
+        ):
+            return False
+    if len(enter_pos):
+        if not len(begin_pos):
+            return False
+        if not (
+            np.all(enter_pos < exit_pos)
+            and np.all(exit_pos[:-1] < enter_pos[1:])
+            and np.array_equal(names[enter_pos], names[exit_pos])
+        ):
+            return False
+        if int(event_seg.min()) < 0 or not np.all(exit_pos < end_pos[event_seg]):
+            return False
+    return True
+
+
+def _segments_from_columns_fast(columns: _RankColumns) -> Optional[list[Segment]]:
+    """Array-at-a-time segment construction; ``None`` if the rank is malformed.
+
+    Splits the record stream into marker/event position arrays with NumPy,
+    validates the segmentation rules wholesale, then builds all events and
+    segments in two list comprehensions — no per-record interpreter loop.
+    """
+    kinds = columns.kind
+    begin_pos = np.flatnonzero(kinds == _KIND_SEGMENT_BEGIN)
+    end_pos = np.flatnonzero(kinds == _KIND_SEGMENT_END)
+    enter_pos = np.flatnonzero(kinds == _KIND_ENTER)
+    exit_pos = np.flatnonzero(kinds == _KIND_EXIT)
+    if len(enter_pos) and len(begin_pos):
+        event_seg = np.searchsorted(begin_pos, enter_pos, side="right") - 1
+    else:
+        event_seg = np.empty(0, dtype=np.int64)
+    if not _columns_well_formed(
+        kinds, columns.name, begin_pos, end_pos, enter_pos, exit_pos, event_seg
+    ):
+        return None
+
+    rank = columns.rank
+    strings = columns.strings
+    times = columns.time
+    mpi = columns.mpi_by_position()
+    name_ids = columns.name
+    events = [
+        Event(name=strings[n], start=s, end=e, rank=rank, mpi=mpi.get(p))
+        for n, s, e, p in zip(
+            name_ids[enter_pos].tolist(),
+            times[enter_pos].tolist(),
+            times[exit_pos].tolist(),
+            enter_pos.tolist(),
+        )
+    ]
+    counts = np.bincount(event_seg, minlength=len(begin_pos))
+    offsets = np.concatenate(([0], np.cumsum(counts))).tolist()
+    segments = []
+    for i, (n, start, end) in enumerate(
+        zip(
+            name_ids[begin_pos].tolist(),
+            times[begin_pos].tolist(),
+            times[end_pos].tolist(),
+        )
+    ):
+        segment = Segment(
+            context=strings[n],
+            rank=rank,
+            start=start,
+            end=start,
+            events=events[offsets[i] : offsets[i + 1]],
+            index=i,
+        )
+        # Assign ``end`` after construction, exactly as ``iter_segments``
+        # does: a segment whose END marker carries an earlier timestamp than
+        # its BEGIN must decode identically in both paths, not raise here.
+        segment.end = end
+        segments.append(segment)
+    return segments
+
+
+def iter_rank_segments(path: str | Path, rank: int) -> Iterator[Segment]:
+    """Decode one rank straight to segments (the fast random-access path).
+
+    Well-formed ranks (the only kind the writers produce) take the
+    vectorized decoder; malformed ranks fall back to the record-by-record
+    state machine so the error matches what the text path would raise.
+    """
+    columns = _read_rank_columns(Path(path), rank)
+    segments = _segments_from_columns_fast(columns)
+    if segments is None:
+        yield from _segments_from_columns(columns)
+    else:
+        yield from segments
+
+
+def iter_rank_record_streams_rpb(
+    path: str | Path,
+) -> Iterator[tuple[int, Iterator[TraceRecord]]]:
+    """Yield ``(rank, record iterator)`` pairs via the index.
+
+    Unlike the text reader, the streams are independent random-access
+    decoders: they may be consumed in any order, or not at all.
+    """
+    path = Path(path)
+    index = read_index(path)
+    for entry in index.entries:
+        yield entry.rank, iter_rank_records(path, entry.rank)
+
+
+def read_trace_rpb(path: str | Path, name: str | None = None) -> Trace:
+    """Read a whole ``.rpb`` trace; ranks must form a contiguous range from 0."""
+    path = Path(path)
+    index = read_index(path)
+    if not index.entries:
+        return Trace(name=name or path.stem, ranks=[])
+    by_rank: dict[int, RankTrace] = {}
+    with path.open("rb") as handle:
+        for entry in index.entries:
+            columns = _load_columns(handle, entry, index.strings)
+            by_rank[entry.rank] = RankTrace(
+                rank=entry.rank, records=list(_records_from_columns(columns))
+            )
+    nprocs = max(by_rank) + 1
+    missing = [r for r in range(nprocs) if r not in by_rank]
+    if missing:
+        raise ValueError(f"trace file {path} is missing ranks {missing}")
+    return Trace(name=name or path.stem, ranks=[by_rank[r] for r in range(nprocs)])

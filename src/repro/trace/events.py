@@ -13,7 +13,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["MpiCallInfo", "Event", "COLLECTIVE_OPS", "P2P_OPS", "ALL_OPS"]
+__all__ = ["MpiCallInfo", "Event", "COLLECTIVE_OPS", "P2P_OPS", "ALL_OPS", "validate_name"]
+
+
+#: Names already proven valid — traces reuse a small set of names millions of
+#: times, so a membership test replaces the split() on the hot path.  Bounded
+#: so a pathological stream of unique names cannot grow it without limit.
+_VALIDATED_NAMES: set = set()
+_VALIDATED_NAMES_CAP = 1 << 16
+
+
+def validate_name(name: str, what: str) -> None:
+    """Reject names that cannot survive the whitespace-delimited text format.
+
+    The text serialization in :mod:`repro.trace.io` writes one
+    whitespace-separated line per record/event, so a name containing
+    whitespace (or an empty name) would produce a line that parses back into
+    different tokens — silently corrupting the trace.  Validating at
+    construction turns that silent corruption into an immediate error.
+    """
+    if name in _VALIDATED_NAMES:
+        return
+    if not isinstance(name, str) or not name or name.split() != [name]:
+        raise ValueError(
+            f"{what} must be non-empty and contain no whitespace, got {name!r}"
+        )
+    if len(_VALIDATED_NAMES) < _VALIDATED_NAMES_CAP:
+        _VALIDATED_NAMES.add(name)
 
 
 #: Collective operations (matched across ranks by collective-call sequence number).
@@ -73,6 +99,7 @@ class MpiCallInfo:
             raise ValueError(f"unknown MPI operation {self.op!r}; expected one of {sorted(ALL_OPS)}")
         if self.nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {self.nbytes}")
+        validate_name(self.comm, "communicator name")
 
     @property
     def is_collective(self) -> bool:
@@ -102,6 +129,7 @@ class Event:
     mpi: Optional[MpiCallInfo] = None
 
     def __post_init__(self) -> None:
+        validate_name(self.name, "event name")
         if self.end < self.start:
             raise ValueError(
                 f"event {self.name!r} has end ({self.end}) before start ({self.start})"

@@ -12,7 +12,16 @@ serialize both representations with the same record format:
   ``storedSegments`` + ``segmentExecs`` representation of Section 3.1.
 
 Timestamps are written with microsecond precision (two decimals), so the byte
-cost of a timestamp is comparable in both representations.
+cost of a timestamp is comparable in both representations.  Note that this
+quantization makes a text write→read round trip lossy below 0.01
+microseconds; the columnar binary format (:mod:`repro.trace.binio`) round-trips
+``float64`` timestamps exactly.
+
+This module owns the **text** format.  The public :func:`write_trace`,
+:func:`read_trace`, and :func:`iter_rank_record_streams` dispatch on the file
+extension through the format registry (:mod:`repro.trace.formats`), so
+``.rpb`` paths transparently use the binary format; the ``*_text`` variants
+are the text implementations the registry binds.
 """
 
 from __future__ import annotations
@@ -41,9 +50,13 @@ __all__ = [
     "segmented_trace_size_bytes",
     "reduced_trace_size_bytes",
     "write_trace",
+    "write_trace_text",
+    "TextTraceWriter",
     "read_trace",
+    "read_trace_text",
     "iter_trace_records",
     "iter_rank_record_streams",
+    "iter_rank_record_streams_text",
     "iter_reduced_rank_chunks",
     "serialize_reduced_trace",
     "write_reduced_trace",
@@ -201,12 +214,64 @@ def reduced_trace_size_bytes(
     return total
 
 
-def write_trace(trace: Trace, path: str | Path) -> None:
-    """Write a raw trace to ``path`` (one file, ranks concatenated in order)."""
+def write_trace(trace: Trace, path: str | Path, format: str | None = None) -> None:
+    """Write a raw trace to ``path`` in the format implied by its extension.
+
+    ``format`` forces a registered format by name (``"text"`` or ``"rpb"``)
+    regardless of extension; see :mod:`repro.trace.formats`.
+    """
+    from repro.trace.formats import resolve_format  # deferred: formats imports us
+
+    resolve_format(path, format).write(trace, Path(path))
+
+
+def write_trace_text(trace: Trace, path: str | Path) -> None:
+    """Write a raw trace as text (one file, ranks concatenated in order)."""
     path = Path(path)
     with path.open("wb") as handle:
         for rank_trace in trace.ranks:
             handle.write(serialize_records(rank_trace.records))
+
+
+class TextTraceWriter:
+    """Incremental text-trace writer: one rank's record run at a time.
+
+    The text format has no index, so runs appear in write order and each rank
+    may be written only once (matching what the forward-pass reader accepts).
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._handle = self._path.open("wb")
+        self._seen: set[int] = set()
+
+    def write_rank(self, rank: int, records: Iterable[TraceRecord]) -> int:
+        """Append one rank's records; returns the record count."""
+        if self._handle is None:
+            raise ValueError("writer is closed")
+        if rank in self._seen:
+            raise ValueError(f"rank {rank} was already written to {self._path}")
+        self._seen.add(rank)
+        count = 0
+        for record in records:
+            if record.rank != rank:
+                raise ValueError(
+                    f"record for rank {record.rank} in rank-{rank} run of {self._path}"
+                )
+            self._handle.write((format_record(record) + "\n").encode("utf-8"))
+            count += 1
+        return count
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TextTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def iter_trace_records(path: str | Path) -> Iterator[TraceRecord]:
@@ -225,16 +290,31 @@ def iter_trace_records(path: str | Path) -> Iterator[TraceRecord]:
 
 
 def iter_rank_record_streams(
-    path: str | Path,
+    path: str | Path, format: str | None = None
 ) -> Iterator[tuple[int, Iterator[TraceRecord]]]:
     """Yield ``(rank, record iterator)`` pairs from a trace file, lazily.
 
-    :func:`write_trace` concatenates ranks, so each rank's records form one
-    contiguous run; this reader exposes each run as its own iterator without
-    materializing it.  Like :func:`itertools.groupby`, each rank's iterator
-    must be consumed before advancing to the next pair.  A rank appearing in
-    two separate runs means the file was not produced by :func:`write_trace`
-    and is rejected.
+    Dispatches on the file extension (or explicit ``format`` name): text
+    files are read in a single forward pass (each rank's iterator must be
+    consumed before advancing), indexed binary files decode each rank
+    independently.
+    """
+    from repro.trace.formats import resolve_format  # deferred: formats imports us
+
+    return resolve_format(path, format).rank_streams(Path(path))
+
+
+def iter_rank_record_streams_text(
+    path: str | Path,
+) -> Iterator[tuple[int, Iterator[TraceRecord]]]:
+    """Text-format rank streams (one forward pass over the file).
+
+    :func:`write_trace_text` concatenates ranks, so each rank's records form
+    one contiguous run; this reader exposes each run as its own iterator
+    without materializing it.  Like :func:`itertools.groupby`, each rank's
+    iterator must be consumed before advancing to the next pair.  A rank
+    appearing in two separate runs means the file was not produced by
+    :func:`write_trace_text` and is rejected.
     """
     seen: set[int] = set()
     for rank, records in itertools.groupby(iter_trace_records(path), key=lambda r: r.rank):
@@ -289,8 +369,19 @@ def write_reduced_trace(reduced: "ReducedTrace", path: str | Path) -> int:
     return written
 
 
-def read_trace(path: str | Path, name: str | None = None) -> Trace:
-    """Read a trace written by :func:`write_trace`.
+def read_trace(path: str | Path, name: str | None = None, format: str | None = None) -> Trace:
+    """Read a trace file in the format implied by its extension.
+
+    ``format`` forces a registered format by name; see
+    :mod:`repro.trace.formats`.
+    """
+    from repro.trace.formats import resolve_format  # deferred: formats imports us
+
+    return resolve_format(path, format).read(Path(path), name)
+
+
+def read_trace_text(path: str | Path, name: str | None = None) -> Trace:
+    """Read a text trace written by :func:`write_trace_text`.
 
     Ranks are reconstructed from the per-record rank field; ranks must be a
     contiguous range starting at zero.

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional
 
-from repro.trace.events import MpiCallInfo
+from repro.trace.events import MpiCallInfo, validate_name
 
 __all__ = ["RecordKind", "TraceRecord"]
 
@@ -53,6 +53,7 @@ class TraceRecord:
     mpi: Optional[MpiCallInfo] = None
 
     def __post_init__(self) -> None:
+        validate_name(self.name, "record name")
         if self.timestamp < 0:
             raise ValueError(f"record timestamp must be non-negative, got {self.timestamp}")
         if self.mpi is not None and self.kind is not RecordKind.ENTER:

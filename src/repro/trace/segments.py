@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
-from repro.trace.events import Event
+from repro.trace.events import Event, validate_name
 from repro.trace.records import RecordKind, TraceRecord
 
 __all__ = [
@@ -46,6 +46,7 @@ class Segment:
     index: int = 0
 
     def __post_init__(self) -> None:
+        validate_name(self.context, "segment context")
         if self.end < self.start:
             raise ValueError(
                 f"segment {self.context!r} has end ({self.end}) before start ({self.start})"

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.benchmarks_ats import late_sender
-from repro.pipeline.stream import rank_segment_streams, source_name
+from repro.pipeline.stream import (
+    indexed_source_ranks,
+    rank_segment_streams,
+    shard_segment_stream,
+    source_name,
+)
 from repro.trace.io import iter_rank_record_streams, iter_trace_records, write_trace
 from repro.trace.records import RecordKind, TraceRecord
 from repro.trace.segments import SegmentationError, iter_segments, segment_rank_records
@@ -112,3 +117,48 @@ class TestRankSegmentStreams:
         trace, _ = _records()
         assert source_name(trace) == trace.name
         assert source_name(tmp_path / "foo.txt") == "foo"
+
+
+class TestIndexedSources:
+    @pytest.fixture()
+    def rpb_path(self, tmp_path):
+        trace, _ = _records()
+        path = tmp_path / "t.rpb"
+        write_trace(trace, path)
+        return trace, path
+
+    def test_from_indexed_file(self, rpb_path):
+        trace, path = rpb_path
+        total = sum(sum(1 for _ in segs) for _, segs in rank_segment_streams(path))
+        assert total == trace.segmented().num_segments
+
+    def test_indexed_streams_consumable_out_of_order(self, rpb_path):
+        # Text streams must be drained in file order; indexed streams are
+        # independent random-access decoders and may be consumed any time.
+        trace, path = rpb_path
+        streams = dict(rank_segment_streams(path))
+        for rank in (3, 1, 0, 2):
+            segments = list(streams[rank])
+            assert len(segments) == len(trace.segmented().rank(rank).segments)
+
+    def test_indexed_source_ranks(self, tmp_path, rpb_path):
+        trace, path = rpb_path
+        assert indexed_source_ranks(path) == [0, 1, 2, 3]
+        text = tmp_path / "t.txt"
+        write_trace(trace, text)
+        assert indexed_source_ranks(text) is None
+        assert indexed_source_ranks(trace) is None
+
+    def test_shard_segment_stream_matches_reference(self, rpb_path):
+        trace, path = rpb_path
+        reference = segment_rank_records(trace.ranks[2].records)
+        shard = list(shard_segment_stream(path, 2))
+        assert len(shard) == len(reference)
+        assert [s.timestamps() for s in shard] == [s.timestamps() for s in reference]
+
+    def test_shard_segment_stream_rejects_text(self, tmp_path):
+        trace, _ = _records()
+        text = tmp_path / "t.txt"
+        write_trace(trace, text)
+        with pytest.raises(ValueError, match="not indexed"):
+            shard_segment_stream(text, 0)

@@ -91,6 +91,53 @@ class TestCommands:
         assert target.exists()
         assert target.read_text().startswith("SEG ")
 
+    def test_pipeline_save_trace_and_trace_ingest(self, capsys, tmp_path):
+        saved = tmp_path / "full.rpb"
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "pipeline", "late_sender",
+            "--executor", "serial", "--save-trace", str(saved),
+        )
+        assert code == 0
+        assert saved.exists()
+        assert "rpb format" in out
+        code, out = run_cli(
+            capsys, "pipeline", "--trace", str(saved),
+            "--executor", "process", "--workers", "2", "--verify",
+        )
+        assert code == 0
+        normalized = " ".join(out.split())
+        assert "task dispatch shard" in normalized
+        assert "matches serial reducer yes" in normalized
+
+    def test_pipeline_trace_and_workload_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["pipeline", "late_sender", "--trace", "x.txt"])
+        with pytest.raises(SystemExit):
+            main(["pipeline"])
+
+    def test_convert_round_trip(self, capsys, tmp_path):
+        text = tmp_path / "full.txt"
+        code, _ = run_cli(
+            capsys, "--scale", "smoke", "pipeline", "late_sender",
+            "--executor", "serial", "--save-trace", str(text),
+        )
+        assert code == 0
+        rpb = tmp_path / "full.rpb"
+        code, out = run_cli(capsys, "convert", str(text), str(rpb))
+        assert code == 0
+        assert rpb.exists()
+        assert "rpb format" in out
+        back = tmp_path / "back.txt"
+        code, _ = run_cli(capsys, "convert", str(rpb), str(back))
+        assert code == 0
+        assert back.read_bytes() == text.read_bytes()
+
+    def test_convert_missing_input_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["convert", "nope.txt", "out.rpb"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
     def test_pipeline_rejects_unknown_executor(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["pipeline", "late_sender", "--executor", "gpu"])

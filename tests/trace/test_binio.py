@@ -1,0 +1,199 @@
+"""Tests for the columnar binary trace format (``.rpb``)."""
+
+import math
+import struct
+
+import pytest
+
+from repro.benchmarks_ats import late_sender
+from repro.trace import binio
+from repro.trace.events import MpiCallInfo
+from repro.trace.records import RecordKind, TraceRecord
+from repro.trace.segments import SegmentationError, iter_segments
+from repro.trace.trace import RankTrace, Trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return late_sender(nprocs=4, iterations=3, seed=2).run()
+
+
+@pytest.fixture()
+def rpb_path(small_trace, tmp_path):
+    path = tmp_path / "trace.rpb"
+    binio.write_trace_rpb(small_trace, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_records_round_trip_exactly(self, small_trace, rpb_path):
+        loaded = binio.read_trace_rpb(rpb_path)
+        assert loaded.nprocs == small_trace.nprocs
+        for original, back in zip(small_trace.ranks, loaded.ranks):
+            assert back.records == original.records
+
+    def test_float64_timestamps_lossless(self, tmp_path):
+        # The binary format's precision guarantee: write→read is exact for
+        # arbitrary float64 values (contrast TestTextQuantization in
+        # test_io.py, which documents the text format's 2-decimal loss).
+        values = [math.pi, 1e-9, 123.456789, 1e12 + 0.25]
+        records = [
+            TraceRecord(kind=RecordKind.SEGMENT_BEGIN, rank=0, timestamp=values[0], name="s"),
+            TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=values[1], name="f"),
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=values[2], name="f"),
+            TraceRecord(kind=RecordKind.SEGMENT_END, rank=0, timestamp=values[3], name="s"),
+        ]
+        path = tmp_path / "exact.rpb"
+        binio.write_trace_rpb(Trace(name="t", ranks=[RankTrace(rank=0, records=records)]), path)
+        loaded = binio.read_trace_rpb(path)
+        assert [r.timestamp for r in loaded.ranks[0].records] == values
+
+    def test_mpi_parameters_round_trip(self, tmp_path):
+        infos = [
+            MpiCallInfo(op="bcast", root=0, nbytes=128),
+            MpiCallInfo(op="send", peer=3, tag=7, nbytes=4096),
+            MpiCallInfo(op="sendrecv", peer=1, source=2, tag=0, nbytes=8),
+            MpiCallInfo(op="barrier"),
+        ]
+        records = []
+        t = 0.0
+        for info in infos:
+            records.append(
+                TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=t, name="MPI", mpi=info)
+            )
+            records.append(TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=t + 1, name="MPI"))
+            t += 2
+        path = tmp_path / "mpi.rpb"
+        binio.write_trace_rpb(Trace(name="t", ranks=[RankTrace(rank=0, records=records)]), path)
+        loaded = binio.read_trace_rpb(path).ranks[0].records
+        assert [r.mpi for r in loaded[::2]] == infos
+        assert all(r.mpi is None for r in loaded[1::2])
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rpb"
+        binio.write_trace_rpb(Trace(name="e", ranks=[]), path)
+        assert binio.read_trace_rpb(path).nprocs == 0
+        assert binio.rank_ids(path) == []
+
+
+class TestRandomAccess:
+    def test_index_lists_ranks_and_counts(self, small_trace, rpb_path):
+        index = binio.read_index(rpb_path)
+        assert index.ranks == [0, 1, 2, 3]
+        assert index.n_records == small_trace.num_records
+        for entry, rank_trace in zip(index.entries, small_trace.ranks):
+            assert entry.n_records == len(rank_trace.records)
+            assert entry.length > 0
+
+    def test_single_rank_decode_matches(self, small_trace, rpb_path):
+        records = list(binio.iter_rank_records(rpb_path, 2))
+        assert records == small_trace.ranks[2].records
+
+    def test_ranks_decode_in_any_order(self, small_trace, rpb_path):
+        for rank in (3, 0, 2, 1):
+            records = list(binio.iter_rank_records(rpb_path, rank))
+            assert records == small_trace.ranks[rank].records
+
+    def test_missing_rank_rejected(self, rpb_path):
+        with pytest.raises(KeyError, match="rank 9"):
+            list(binio.iter_rank_records(rpb_path, 9))
+
+    def test_record_streams_are_independent(self, small_trace, rpb_path):
+        # Unlike the text reader, streams need not be consumed in order.
+        streams = dict(binio.iter_rank_record_streams_rpb(rpb_path))
+        assert list(streams[3]) == small_trace.ranks[3].records
+        assert list(streams[0]) == small_trace.ranks[0].records
+
+
+class TestFastSegmentDecoder:
+    def test_matches_reference_segmentation(self, small_trace, rpb_path):
+        for rank_trace in small_trace.ranks:
+            fast = list(binio.iter_rank_segments(rpb_path, rank_trace.rank))
+            reference = list(iter_segments(rank_trace.records))
+            assert len(fast) == len(reference)
+            for a, b in zip(fast, reference):
+                assert (a.context, a.rank, a.index) == (b.context, b.rank, b.index)
+                assert (a.start, a.end) == (b.start, b.end)
+                assert a.timestamps() == b.timestamps()
+                assert [e.structure() for e in a.events] == [
+                    e.structure() for e in b.events
+                ]
+
+    def test_malformed_rank_raises_segmentation_error(self, tmp_path):
+        # An EXIT without an ENTER defeats the vectorized validity check and
+        # must surface the same SegmentationError the record path raises.
+        records = [
+            TraceRecord(kind=RecordKind.SEGMENT_BEGIN, rank=0, timestamp=0.0, name="s"),
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=1.0, name="f"),
+            TraceRecord(kind=RecordKind.SEGMENT_END, rank=0, timestamp=2.0, name="s"),
+        ]
+        path = tmp_path / "bad.rpb"
+        binio.write_trace_rpb(Trace(name="t", ranks=[RankTrace(rank=0, records=records)]), path)
+        with pytest.raises(SegmentationError, match="without an enter"):
+            list(binio.iter_rank_segments(path, 0))
+
+    def test_backwards_segment_end_matches_record_path(self, tmp_path):
+        # iter_segments assigns the END timestamp after construction, so a
+        # segment whose END precedes its BEGIN decodes (duration < 0) rather
+        # than raising; the vectorized path must behave identically.
+        records = [
+            TraceRecord(kind=RecordKind.SEGMENT_BEGIN, rank=0, timestamp=5.0, name="s"),
+            TraceRecord(kind=RecordKind.SEGMENT_END, rank=0, timestamp=4.0, name="s"),
+        ]
+        reference = list(iter_segments(records))
+        path = tmp_path / "backwards.rpb"
+        binio.write_trace_rpb(Trace(name="t", ranks=[RankTrace(rank=0, records=records)]), path)
+        fast = list(binio.iter_rank_segments(path, 0))
+        assert [(s.start, s.end) for s in fast] == [(s.start, s.end) for s in reference]
+        assert fast[0].end == 4.0
+
+    def test_unclosed_segment_raises(self, tmp_path):
+        records = [
+            TraceRecord(kind=RecordKind.SEGMENT_BEGIN, rank=0, timestamp=0.0, name="s"),
+        ]
+        path = tmp_path / "open.rpb"
+        binio.write_trace_rpb(Trace(name="t", ranks=[RankTrace(rank=0, records=records)]), path)
+        with pytest.raises(SegmentationError, match="never closed"):
+            list(binio.iter_rank_segments(path, 0))
+
+
+class TestWriterValidation:
+    def test_duplicate_rank_rejected(self, small_trace, tmp_path):
+        with binio.RpbTraceWriter(tmp_path / "dup.rpb") as writer:
+            writer.write_rank(0, small_trace.ranks[0].records)
+            with pytest.raises(ValueError, match="already written"):
+                writer.write_rank(0, small_trace.ranks[0].records)
+
+    def test_wrong_rank_records_rejected(self, small_trace, tmp_path):
+        with binio.RpbTraceWriter(tmp_path / "wrong.rpb") as writer:
+            with pytest.raises(ValueError, match="rank-1 block"):
+                writer.write_rank(1, small_trace.ranks[0].records)
+
+    def test_non_contiguous_ranks_rejected_on_read(self, small_trace, tmp_path):
+        path = tmp_path / "gap.rpb"
+        with binio.RpbTraceWriter(path) as writer:
+            writer.write_rank(0, small_trace.ranks[0].records)
+            writer.write_rank(2, small_trace.ranks[2].records)
+        with pytest.raises(ValueError, match="missing ranks"):
+            binio.read_trace_rpb(path)
+
+
+class TestCorruptFiles:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not.rpb"
+        path.write_bytes(b"definitely not a trace")
+        with pytest.raises(binio.RpbFormatError, match="bad magic"):
+            binio.read_index(path)
+
+    def test_truncated_file_rejected(self, rpb_path):
+        data = rpb_path.read_bytes()
+        rpb_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(binio.RpbFormatError):
+            binio.read_index(rpb_path)
+
+    def test_bad_footer_offset_rejected(self, rpb_path):
+        data = bytearray(rpb_path.read_bytes())
+        data[-12:-4] = struct.pack("<Q", len(data) + 100)
+        rpb_path.write_bytes(bytes(data))
+        with pytest.raises(binio.RpbFormatError, match="footer offset"):
+            binio.read_index(rpb_path)

@@ -39,6 +39,11 @@ class TestMpiCallInfo:
         assert COLLECTIVE_OPS & P2P_OPS == frozenset()
         assert COLLECTIVE_OPS | P2P_OPS == ALL_OPS
 
+    def test_whitespace_comm_rejected(self):
+        # ``comm=<name>`` is a whitespace-delimited token in the text format.
+        with pytest.raises(ValueError, match="communicator name"):
+            MpiCallInfo(op="barrier", comm="my comm")
+
     def test_frozen(self):
         info = MpiCallInfo(op="barrier")
         with pytest.raises(AttributeError):
@@ -53,6 +58,12 @@ class TestEvent:
     def test_end_before_start_rejected(self):
         with pytest.raises(ValueError, match="before start"):
             Event(name="f", start=2.0, end=1.0)
+
+    @pytest.mark.parametrize("name", ["two words", "tab\tsep", ""])
+    def test_unserializable_name_rejected(self, name):
+        # Regression: ``EV <name> ...`` lines silently gained extra tokens.
+        with pytest.raises(ValueError, match="event name"):
+            Event(name=name, start=0.0, end=1.0)
 
     def test_is_mpi(self):
         assert not Event(name="f", start=0, end=1).is_mpi

@@ -62,6 +62,70 @@ class TestRecordRoundTrip:
             parse_record("ENTER 0 1.00 MPI_Send send bogus=1")
 
 
+def _mpi_combinations():
+    """Every combination of optional MpiCallInfo fields the ops allow."""
+    combos = [
+        MpiCallInfo(op="barrier"),
+        MpiCallInfo(op="barrier", comm="sub"),
+        MpiCallInfo(op="allreduce", nbytes=8192),
+        MpiCallInfo(op="bcast", root=0),
+        MpiCallInfo(op="bcast", root=3, nbytes=128),
+        MpiCallInfo(op="reduce", root=0, nbytes=64, comm="row"),
+        MpiCallInfo(op="send", peer=1),
+        MpiCallInfo(op="send", peer=1, tag=0),
+        MpiCallInfo(op="send", peer=2, tag=7, nbytes=4096),
+        MpiCallInfo(op="recv", peer=0, tag=9, nbytes=16, comm="col"),
+        MpiCallInfo(op="sendrecv", peer=1, source=2),
+        MpiCallInfo(op="sendrecv", peer=1, source=2, tag=3, nbytes=32),
+        MpiCallInfo(op="ssend", peer=0, tag=0, nbytes=1, comm="sub"),
+    ]
+    return [pytest.param(info, id=f"{info.op}-{i}") for i, info in enumerate(combos)]
+
+
+class TestMpiFieldMatrix:
+    """format_record/parse_record round trips across all MpiCallInfo fields."""
+
+    @pytest.mark.parametrize("info", _mpi_combinations())
+    def test_round_trip(self, info):
+        record = TraceRecord(
+            kind=RecordKind.ENTER, rank=5, timestamp=42.25, name="MPI_Call", mpi=info
+        )
+        parsed = parse_record(format_record(record))
+        assert parsed.mpi == info
+        assert parsed.kind is record.kind
+        assert parsed.rank == record.rank
+        assert parsed.name == record.name
+
+    @pytest.mark.parametrize("info", _mpi_combinations())
+    def test_key_survives_round_trip(self, info):
+        record = TraceRecord(
+            kind=RecordKind.ENTER, rank=0, timestamp=1.0, name="MPI_Call", mpi=info
+        )
+        parsed = parse_record(format_record(record))
+        assert parsed.mpi.key() == info.key()
+
+
+class TestTextQuantization:
+    """The text format's documented precision loss (and its boundary).
+
+    Timestamps are serialized with two decimals, so a write→read round trip
+    loses sub-10µs detail.  The binary format has no such loss — see
+    ``TestRoundTrip.test_float64_timestamps_lossless`` in test_binio.py for
+    the other half of this pair.
+    """
+
+    def test_sub_centimicrosecond_detail_lost(self):
+        record = TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=0.123456, name="f")
+        parsed = parse_record(format_record(record))
+        assert parsed.timestamp != record.timestamp
+        assert parsed.timestamp == pytest.approx(0.12, abs=1e-12)
+
+    def test_two_decimal_values_survive(self):
+        record = TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=123.46, name="f")
+        parsed = parse_record(format_record(record))
+        assert format_record(parsed) == format_record(record)
+
+
 class TestSizes:
     def test_serialize_records_counts_every_record(self):
         records = [

@@ -29,3 +29,10 @@ class TestTraceRecord:
 
     def test_record_kinds_distinct(self):
         assert len({k.value for k in RecordKind}) == 4
+
+    @pytest.mark.parametrize("name", ["two words", "tab\tsep", "line\nbreak", " pad", ""])
+    def test_unserializable_name_rejected(self, name):
+        # Regression: these names used to serialize into lines that parse back
+        # into different tokens (or not at all); now they fail at construction.
+        with pytest.raises(ValueError, match="record name"):
+            TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=1.0, name=name)

@@ -37,6 +37,11 @@ class TestSegment:
         with pytest.raises(ValueError):
             Segment(context="c", rank=0, start=5.0, end=4.0)
 
+    def test_whitespace_context_rejected(self):
+        # Regression: ``SEG <id> <context> ...`` lines silently gained tokens.
+        with pytest.raises(ValueError, match="segment context"):
+            Segment(context="main 1", rank=0, start=0.0, end=1.0)
+
     def test_timestamps_layout(self, paper_segments):
         # event start/end pairs then segment end
         assert paper_segments["s2"].timestamps() == [1.0, 17.0, 18.0, 48.0, 49.0]
