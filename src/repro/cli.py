@@ -13,6 +13,11 @@ pipeline without writing any Python:
   trace files directly (``--trace``) and dumps workload traces (``--save-trace``)
 * ``repro-trace convert <in> <out>``         — convert a trace file between the
   text and columnar-binary (``.rpb``) formats
+* ``repro-trace sweep <workload>``           — evaluate a whole method ×
+  threshold grid in one shared-ingest pass (table or ``--json`` report with
+  per-config criteria and vector-sharing stats); ``--trace FILE`` sweeps a
+  trace file instead, with ``.rpb`` grids fanned out as (rank × family)
+  pool tasks
 
 All commands accept ``--scale {smoke,default,paper}`` (default: the
 ``REPRO_SCALE`` environment variable, falling back to ``default``).
@@ -58,14 +63,14 @@ class _UsageError(Exception):
 
 
 class _VerificationFailed(Exception):
-    """``pipeline --verify`` found a serial/pipeline mismatch.
+    """``--verify`` found a mismatch against the serial reducer oracle.
 
     Carries the rendered report so the caller can still print it; the
     process exits non-zero so scripted callers can gate on the flag.
     """
 
-    def __init__(self, report: str):
-        super().__init__("pipeline output does not match the serial reducer")
+    def __init__(self, report: str, message: str = "pipeline output does not match the serial reducer"):
+        super().__init__(message)
         self.report = report
 
 
@@ -170,6 +175,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline.add_argument(
         "--output", default=None, help="stream the reduced trace to this file"
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="evaluate a method × threshold grid in one shared-ingest pass",
+    )
+    sweep.add_argument(
+        "workload",
+        nargs="?",
+        choices=ALL_WORKLOAD_NAMES,
+        help="workload to simulate and sweep (omit when using --trace)",
+    )
+    sweep.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="sweep this trace file instead of simulating a workload "
+        "(indexed .rpb files are swept as (rank x family) pool tasks)",
+    )
+    sweep.add_argument(
+        "--methods",
+        nargs="+",
+        choices=METRIC_NAMES,
+        default=["euclidean", "manhattan"],
+        help="methods in the grid (default: euclidean manhattan)",
+    )
+    sweep.add_argument(
+        "--thresholds",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="T",
+        help="thresholds applied to every listed method "
+        "(default: each method's paper threshold-study values)",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=("sweep", "serial"),
+        default="sweep",
+        help="shared-ingest sweep engine or the serial per-config oracle loop",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="process",
+        help="pool flavour for indexed file sources (ignored otherwise)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+    sweep.add_argument(
+        "--store-capacity",
+        type=int,
+        default=None,
+        help="bound every config's per-rank representative store (default: unbounded)",
+    )
+    sweep.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run every config through the serial reducer and check the "
+        "reduced traces are byte-identical",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the grid and sharing stats as JSON instead of tables",
     )
 
     convert = sub.add_parser(
@@ -324,6 +395,143 @@ def _cmd_pipeline(args, scale) -> str:
     return report
 
 
+def _cmd_sweep(args, scale) -> str:
+    import json
+    from pathlib import Path
+
+    from repro.evaluation.runner import PreparedWorkload
+    from repro.experiments.config import prepared_workload
+    from repro.pipeline.engine import sweep_pipeline
+    from repro.sweep.plan import SweepPlan
+
+    try:
+        plan = SweepPlan.from_grid(args.methods, args.thresholds)
+        if args.trace is not None and args.workload is not None:
+            raise ValueError("give either a workload or --trace FILE, not both")
+        if args.trace is None and args.workload is None:
+            raise ValueError("a workload name or --trace FILE is required")
+        if args.backend == "serial" and args.verify:
+            raise ValueError(
+                "--verify compares the sweep engine against the serial oracle; "
+                "it does not apply to --backend serial"
+            )
+        if args.backend == "serial" and args.store_capacity is not None:
+            raise ValueError("--store-capacity applies to the sweep backend only")
+        config = PipelineConfig(
+            executor=args.executor,
+            workers=args.workers,
+            store_capacity=args.store_capacity,
+        )
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+
+    if args.trace is not None:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            raise _UsageError(f"trace file {trace_path} does not exist")
+        prepared = PreparedWorkload.from_file(trace_path)
+        source = trace_path
+        subject = f"{trace_path} ({resolve_format(trace_path).name} format)"
+    else:
+        prepared = prepared_workload(args.workload, scale)
+        source = prepared.segmented
+        subject = f"{args.workload} (scale={scale.name})"
+
+    if args.backend == "serial":
+        from repro.evaluation.runner import evaluate_grid
+
+        results = evaluate_grid(
+            prepared, plan, keep_comparison=False, backend="serial"
+        )
+        sweep_result = None
+    else:
+        sweep_result = sweep_pipeline(source, plan, config, name=prepared.name)
+        results = sweep_result.evaluation_results(prepared)
+
+    identical = True
+    if args.verify and sweep_result is not None:
+        from repro.pipeline.store import create_store
+
+        for outcome in sweep_result:
+            # The oracle must run under the same store bound as the sweep,
+            # or a binding --store-capacity would "fail" verification.
+            serial = TraceReducer(outcome.config.create()).reduce_streams(
+                prepared.name,
+                ((r.rank, r.segments) for r in prepared.segmented.ranks),
+                store_factory=lambda: create_store(args.store_capacity),
+            )
+            if serialize_reduced_trace(outcome.reduced) != serialize_reduced_trace(serial):
+                identical = False
+                break
+
+    if args.json:
+        payload = {
+            "subject": subject,
+            "backend": args.backend,
+            "configs": [
+                {
+                    "method": r.method,
+                    "threshold": r.threshold,
+                    "pct_file_size": r.pct_file_size,
+                    "degree_of_matching": r.degree_of_matching,
+                    "approx_distance_us": r.approx_distance_us,
+                    "trends_retained": r.trends_retained,
+                    "n_stored": r.n_stored,
+                    "reduced_bytes": r.reduced_bytes,
+                }
+                for r in results
+            ],
+        }
+        if sweep_result is not None:
+            stats = sweep_result.stats
+            payload["stats"] = {
+                "n_configs": stats.n_configs,
+                "n_families": stats.n_families,
+                "dispatch": stats.dispatch,
+                "n_ranks": stats.n_ranks,
+                "n_segments": stats.n_segments,
+                "vector_builds": stats.vector_builds,
+                "vector_builds_saved": stats.vector_builds_saved,
+                "sharing_factor": stats.sharing_factor,
+                "total_seconds": stats.total_seconds,
+            }
+        if args.verify:
+            payload["matches_serial_oracle"] = identical
+        report = json.dumps(payload, indent=2)
+    else:
+        grid_rows = [
+            [
+                r.method,
+                "-" if r.threshold is None else f"{r.threshold:g}",
+                f"{r.pct_file_size:.2f}",
+                f"{r.degree_of_matching:.4f}",
+                f"{r.approx_distance_us:.2f}",
+                "yes" if r.trends_retained else "NO",
+                r.n_stored,
+            ]
+            for r in results
+        ]
+        report = format_table(
+            ["method", "threshold", "% file size", "matching", "approx dist (us)", "trends", "stored"],
+            grid_rows,
+            title=f"sweep grid — {subject}",
+        )
+        if sweep_result is not None:
+            stats_rows = sweep_result.stats.rows()
+            if args.verify:
+                stats_rows.append(
+                    ["matches serial oracle", "yes" if identical else "NO"]
+                )
+            report += "\n\n" + format_table(
+                ["property", "value"], stats_rows, title="shared-ingest stats"
+            )
+    if not identical:
+        raise _VerificationFailed(
+            report, "sweep output does not match the serial reducer oracle"
+        )
+    return report
+
+
 def _cmd_convert(args) -> str:
     from pathlib import Path
 
@@ -401,6 +609,8 @@ def _dispatch(args, scale, parser) -> str:
         output = _cmd_figure(args.which, scale)
     elif args.command == "pipeline":
         output = _cmd_pipeline(args, scale)
+    elif args.command == "sweep":
+        output = _cmd_sweep(args, scale)
     elif args.command == "convert":
         output = _cmd_convert(args)
     else:  # pragma: no cover - argparse enforces the choices

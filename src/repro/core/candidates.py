@@ -40,8 +40,10 @@ def first_match_index(mask: np.ndarray) -> Optional[int]:
     """
     if mask.size == 0:
         return None
-    index = int(np.argmax(mask))
-    return index if mask[index] else None
+    # ndarray.argmax() avoids the np.argmax dispatch wrapper; this runs once
+    # per candidate-bucket probe, which is the reduction's innermost call.
+    index = mask.argmax()
+    return int(index) if mask[index] else None
 
 
 @dataclass(slots=True)
@@ -82,7 +84,7 @@ class CandidateList:
     a bounded store evicts leading entries.
     """
 
-    __slots__ = ("_entries", "_owner", "_matrix", "_scales", "_built")
+    __slots__ = ("_entries", "_owner", "_matrix", "_scales", "_built", "_views")
 
     #: Minimum row capacity allocated for a new matrix.
     MIN_CAPACITY = 4
@@ -93,6 +95,7 @@ class CandidateList:
         self._matrix: Optional[np.ndarray] = None
         self._scales: Optional[np.ndarray] = None  # per-row scale cache
         self._built = 0  # entries materialized into the matrix so far
+        self._views = None  # cached (matrix[:n], scales[:n]) result pair
 
     # -- sequence protocol (what the legacy scan path sees) -------------------
 
@@ -116,6 +119,7 @@ class CandidateList:
     def append(self, stored: "StoredSegment") -> None:
         """Register a new representative (its matrix row is built lazily)."""
         self._entries.append(stored)
+        self._views = None
 
     def trim_front(self, n: int) -> None:
         """Drop the ``n`` oldest representatives, compacting matrix rows.
@@ -127,6 +131,7 @@ class CandidateList:
         if n <= 0:
             return
         del self._entries[:n]
+        self._views = None
         if self._matrix is not None:
             surviving = max(0, self._built - n)
             if surviving:
@@ -174,12 +179,22 @@ class CandidateList:
         hook; its value is computed once per row at build time and cached, so
         the kernel doesn't recompute ``abs(matrix).max(axis=1)`` on every
         incoming segment.  Metrics without the hook get None.
+
+        The result pair is memoized until the bucket's rows change (append,
+        eviction, owner switch): in steady state — a probe per incoming
+        segment, few new representatives — this is a plain attribute read on
+        the reduction's hottest path.  In-place row refreshes after
+        ``iter_avg`` mutations don't invalidate it; the views alias the
+        refreshed buffer.
         """
         if metric is not self._owner:
             self._owner = metric
             self._matrix = None
             self._scales = None
             self._built = 0
+            self._views = None
+        elif self._views is not None:
+            return self._views
         n = len(self._entries)
         while self._built < n:
             row = np.asarray(metric.candidate_vector(self._entries[self._built]), dtype=float)
@@ -207,4 +222,5 @@ class CandidateList:
             # No entries yet: an empty matrix with unknown width.
             return np.zeros((0, 0), dtype=float), None
         scales = self._scales[:n] if self._scales is not None else None
-        return self._matrix[:n], scales
+        self._views = (self._matrix[:n], scales)
+        return self._views

@@ -13,7 +13,7 @@ from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.candidates import CandidateList
+from repro.core.candidates import CandidateList, first_match_index
 from repro.core.reduced import StoredSegment
 from repro.trace.segments import Segment
 
@@ -120,12 +120,40 @@ class DistanceMetric(SimilarityMetric):
         return stored.cached_vector(self.vector_key(), self.build_vector)
 
     #: Optional hook: scalar scale of one candidate row, cached next to the
-    #: row at matrix-build time and handed to :meth:`match_batch` as
+    #: row at matrix-build time and handed to :meth:`match_stats` as
     #: ``row_scales``.  None (the default) means the metric's limit does not
     #: depend on a per-row statistic, so no scale vector is maintained.
     row_scale = None
 
     @abstractmethod
+    def match_stats(
+        self,
+        vector: np.ndarray,
+        matrix: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Threshold-independent per-row match statistics.
+
+        Returns ``(stat, base)`` such that candidate row ``i`` matches the
+        probe ``vector`` at threshold ``t`` iff ``stat[i] <= t * base[i]``
+        (``base is None`` means a unit base: ``stat[i] <= t``).
+
+        ``matrix`` holds one candidate feature vector per row, in insertion
+        order, all built by :meth:`build_vector`; ``row_scales`` carries the
+        cached :attr:`row_scale` of each row when the metric declares the
+        hook.  Implementations evaluate every row in one NumPy broadcast
+        using only row-wise operations and must reproduce :meth:`similar`'s
+        decision for each row exactly, so batched and scanned reductions stay
+        byte-identical.  Two hard requirements let the sweep engine share one
+        call across a whole threshold grid:
+
+        * the result must not depend on :attr:`threshold` (only the final
+          ``stat <= t * base`` comparison does);
+        * row ``i``'s results must not depend on the other rows, so
+          statistics computed over several configs' stacked candidate
+          matrices equal the per-config results bit for bit.
+        """
+
     def match_batch(
         self,
         vector: np.ndarray,
@@ -134,13 +162,12 @@ class DistanceMetric(SimilarityMetric):
     ) -> Optional[int]:
         """First row of ``matrix`` similar to ``vector``, or None.
 
-        ``matrix`` holds one candidate feature vector per row, in insertion
-        order, all built by :meth:`build_vector`; ``row_scales`` carries the
-        cached :attr:`row_scale` of each row when the metric declares the
-        hook.  Implementations evaluate every row in one NumPy broadcast and
-        must reproduce :meth:`similar`'s decision for each row exactly, so
-        batched and scanned reductions stay byte-identical.
+        The decision is :meth:`match_stats` compared against this metric's
+        own threshold; first-match semantics mirror the scan.
         """
+        stat, base = self.match_stats(vector, matrix, row_scales)
+        limits = self.threshold if base is None else self.threshold * base
+        return first_match_index(stat <= limits)
 
     def match_candidates(
         self, candidate: Segment, candidates: Sequence[StoredSegment]

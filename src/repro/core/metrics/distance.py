@@ -10,7 +10,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.candidates import first_match_index
 from repro.core.metrics.base import DistanceMetric
 from repro.trace.segments import Segment
 
@@ -54,17 +53,19 @@ class RelDiff(DistanceMetric):
         rel = relative_differences(new_ts, stored_ts)
         return bool(np.all(rel <= self.threshold))
 
-    def match_batch(
+    def match_stats(
         self,
         vector: np.ndarray,
         matrix: np.ndarray,
         row_scales: Optional[np.ndarray] = None,
-    ) -> Optional[int]:
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
         # relative_differences broadcasts (rows, n) against (n,) element-wise
-        # and is symmetric in its operands, so each row's decision is
+        # and is symmetric in its operands; "every pair within threshold" is
+        # exactly "the row's largest relative difference within threshold"
+        # (the values are finite and non-negative), so each row's decision is
         # bit-identical to the scalar scan.
         rel = relative_differences(matrix, vector)
-        return first_match_index(np.all(rel <= self.threshold, axis=1))
+        return rel.max(axis=1, initial=0.0), None
 
 
 class AbsDiff(DistanceMetric):
@@ -86,12 +87,13 @@ class AbsDiff(DistanceMetric):
     ) -> bool:
         return bool(np.all(np.abs(new_ts - stored_ts) <= self.threshold))
 
-    def match_batch(
+    def match_stats(
         self,
         vector: np.ndarray,
         matrix: np.ndarray,
         row_scales: Optional[np.ndarray] = None,
-    ) -> Optional[int]:
-        return first_match_index(
-            np.all(np.abs(matrix - vector) <= self.threshold, axis=1)
-        )
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        # "Every pair within threshold" == "largest absolute difference of
+        # the row within threshold"; values are finite, so max() and all()
+        # decide identically.
+        return np.abs(matrix - vector).max(axis=1, initial=0.0), None

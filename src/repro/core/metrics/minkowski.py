@@ -15,7 +15,6 @@ from typing import Hashable, Optional
 
 import numpy as np
 
-from repro.core.candidates import first_match_index
 from repro.core.metrics.base import DistanceMetric
 from repro.core.metrics.vectors import minkowski_vector
 from repro.trace.segments import Segment
@@ -85,12 +84,12 @@ class MinkowskiMetric(DistanceMetric):
         """Largest measurement magnitude of one candidate row (cached)."""
         return float(np.abs(vector).max(initial=0.0))
 
-    def match_batch(
+    def match_stats(
         self,
         vector: np.ndarray,
         matrix: np.ndarray,
         row_scales: Optional[np.ndarray] = None,
-    ) -> Optional[int]:
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
         diff = np.abs(matrix - vector)
         if math.isinf(self.order):
             distances = diff.max(axis=1, initial=0.0)
@@ -100,8 +99,7 @@ class MinkowskiMetric(DistanceMetric):
             distances = np.power(np.power(diff, self.order).sum(axis=1), 1.0 / self.order)
         if row_scales is None:
             row_scales = np.abs(matrix).max(axis=1, initial=0.0)
-        limits = self.threshold * np.maximum(row_scales, np.abs(vector).max(initial=0.0))
-        return first_match_index(distances <= limits)
+        return distances, np.maximum(row_scales, np.abs(vector).max(initial=0.0))
 
 
 class Manhattan(MinkowskiMetric):

@@ -21,7 +21,6 @@ from typing import Hashable, Optional
 
 import numpy as np
 
-from repro.core.candidates import first_match_index
 from repro.core.metrics.base import DistanceMetric
 from repro.core.metrics.vectors import next_power_of_two, wavelet_vector
 from repro.trace.segments import Segment
@@ -128,17 +127,16 @@ class WaveletMetric(DistanceMetric):
         """Largest coefficient magnitude of one transformed row (cached)."""
         return float(np.abs(vector).max(initial=0.0))
 
-    def match_batch(
+    def match_stats(
         self,
         vector: np.ndarray,
         matrix: np.ndarray,
         row_scales: Optional[np.ndarray] = None,
-    ) -> Optional[int]:
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
         distances = np.sqrt(np.square(matrix - vector).sum(axis=1))
         if row_scales is None:
             row_scales = np.abs(matrix).max(axis=1, initial=0.0)
-        limits = self.threshold * np.maximum(row_scales, np.abs(vector).max(initial=0.0))
-        return first_match_index(distances <= limits)
+        return distances, np.maximum(row_scales, np.abs(vector).max(initial=0.0))
 
 
 class AvgWave(WaveletMetric):

@@ -16,7 +16,12 @@ from repro.evaluation.approximation import approximation_distance, timestamp_err
 from repro.evaluation.filesize import percent_file_size
 from repro.evaluation.matching import degree_of_matching
 from repro.evaluation.trends import retains_trends
-from repro.evaluation.runner import EvaluationResult, evaluate_method, evaluate_workload
+from repro.evaluation.runner import (
+    EvaluationResult,
+    evaluate_grid,
+    evaluate_method,
+    evaluate_workload,
+)
 
 __all__ = [
     "percent_file_size",
@@ -25,6 +30,7 @@ __all__ = [
     "timestamp_errors",
     "retains_trends",
     "EvaluationResult",
+    "evaluate_grid",
     "evaluate_method",
     "evaluate_workload",
 ]

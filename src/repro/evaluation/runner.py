@@ -27,7 +27,14 @@ from repro.evaluation.filesize import full_trace_bytes
 from repro.evaluation.trends import retains_trends
 from repro.trace.trace import SegmentedTrace
 
-__all__ = ["EvaluationResult", "evaluate_method", "evaluate_workload", "PreparedWorkload"]
+__all__ = [
+    "EvaluationResult",
+    "evaluate_method",
+    "evaluate_grid",
+    "evaluate_workload",
+    "result_from_reduced",
+    "PreparedWorkload",
+]
 
 
 @dataclass(slots=True)
@@ -139,6 +146,27 @@ def evaluate_method(
         reduced = ReductionPipeline(metric, pipeline_config).reduce(source).reduced
     else:
         raise ValueError(f"backend must be 'serial' or 'pipeline', got {backend!r}")
+    return result_from_reduced(
+        prepared,
+        reduced,
+        comparison_options=comparison_options,
+        keep_comparison=keep_comparison,
+    )
+
+
+def result_from_reduced(
+    prepared: PreparedWorkload,
+    reduced: ReducedTrace,
+    *,
+    comparison_options: Optional[ComparisonOptions] = None,
+    keep_comparison: bool = True,
+) -> EvaluationResult:
+    """All four criteria for one already-computed reduced trace.
+
+    This is the (backend-independent) second half of :func:`evaluate_method`;
+    the sweep engine calls it per grid config, so a sweep row and a serial
+    row are produced by the same code.
+    """
     reconstructed = reconstruct(reduced)
     reduced_bytes = reduced.size_bytes()
     pct = 100.0 * reduced_bytes / prepared.full_bytes if prepared.full_bytes else 100.0
@@ -151,8 +179,8 @@ def evaluate_method(
     )
     return EvaluationResult(
         workload=prepared.name,
-        method=metric.name,
-        threshold=metric.threshold,
+        method=reduced.method,
+        threshold=reduced.threshold,
         pct_file_size=pct,
         degree_of_matching=reduced.degree_of_matching(),
         approx_distance_us=distance,
@@ -162,6 +190,58 @@ def evaluate_method(
         n_segments=reduced.n_segments,
         n_stored=reduced.n_stored,
         trend_comparison=comparison if keep_comparison else None,
+    )
+
+
+def evaluate_grid(
+    prepared: PreparedWorkload,
+    plan,
+    *,
+    comparison_options: Optional[ComparisonOptions] = None,
+    keep_comparison: bool = False,
+    backend: str = "sweep",
+    pipeline_config: Optional[PipelineConfig] = None,
+    pipeline_source=None,
+) -> list[EvaluationResult]:
+    """Evaluate a whole config grid on one prepared workload.
+
+    ``plan`` is a :class:`~repro.sweep.plan.SweepPlan` (or anything its
+    constructor accepts, e.g. a list of ``(method, threshold)`` pairs).
+
+    ``backend="sweep"`` (the default) runs the shared-ingest sweep engine:
+    one pass over the segments for the entire grid, feature vectors computed
+    once per family.  With ``pipeline_source`` naming an indexed (``.rpb``)
+    trace file and a pooled ``pipeline_config``, the sweep is parallelised
+    over (rank-shard × feature-family) tasks.  ``backend="serial"`` is the
+    oracle: one independent :func:`evaluate_method` pass per config.  Both
+    produce identical rows, in plan order.
+    """
+    from repro.sweep.plan import SweepPlan
+
+    if not isinstance(plan, SweepPlan):
+        plan = SweepPlan(plan)
+    if backend == "serial":
+        if pipeline_source is not None:
+            raise ValueError("pipeline_source requires backend='sweep'")
+        return [
+            evaluate_method(
+                prepared,
+                config.create(),
+                comparison_options=comparison_options,
+                keep_comparison=keep_comparison,
+            )
+            for config in plan.configs
+        ]
+    if backend != "sweep":
+        raise ValueError(f"backend must be 'serial' or 'sweep', got {backend!r}")
+    from repro.pipeline.engine import sweep_pipeline
+
+    source = prepared.segmented if pipeline_source is None else pipeline_source
+    result = sweep_pipeline(source, plan, pipeline_config, name=prepared.name)
+    return result.evaluation_results(
+        prepared,
+        comparison_options=comparison_options,
+        keep_comparison=keep_comparison,
     )
 
 

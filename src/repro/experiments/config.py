@@ -45,6 +45,7 @@ __all__ = [
     "ALL_WORKLOAD_NAMES",
     "build_workload",
     "prepared_workload",
+    "prepared_cache_size",
     "clear_workload_cache",
 ]
 
@@ -201,19 +202,29 @@ def build_workload(name: str, scale: ExperimentScale | str | None = None) -> Wor
     return _FACTORIES[name](scale)
 
 
-# Prepared workloads (simulated, segmented, analyzed) are cached per
-# (workload, scale) because every figure and table re-uses the same full trace.
-_PREPARED_CACHE: dict[tuple[str, str], PreparedWorkload] = {}
+# Prepared workloads (simulated, segmented, analyzed) are memoized per
+# (workload, scale) because every figure, table, and sweep grid re-uses the
+# same full trace: a multi-method study prepares each workload once, however
+# many methods and thresholds it evaluates.  The key is the *full* scale
+# profile (ExperimentScale is frozen and hashable), not just its name, so two
+# custom profiles that happen to share a name can never alias each other's
+# traces.
+_PREPARED_CACHE: dict[tuple[str, ExperimentScale], PreparedWorkload] = {}
 
 
 def prepared_workload(name: str, scale: ExperimentScale | str | None = None) -> PreparedWorkload:
-    """Return (and cache) the shared evaluation artefacts for one workload."""
+    """Return (and memoize) the shared evaluation artefacts for one workload."""
     if isinstance(scale, str) or scale is None:
         scale = get_scale(scale)
-    key = (name, scale.name)
+    key = (name, scale)
     if key not in _PREPARED_CACHE:
         _PREPARED_CACHE[key] = PreparedWorkload.from_workload(build_workload(name, scale))
     return _PREPARED_CACHE[key]
+
+
+def prepared_cache_size() -> int:
+    """Number of (workload, scale) entries currently memoized."""
+    return len(_PREPARED_CACHE)
 
 
 def clear_workload_cache() -> None:

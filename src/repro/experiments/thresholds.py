@@ -3,20 +3,27 @@
 For each method, the matching threshold is swept over the paper's values and
 the file-size and approximation-distance criteria are recorded for every
 workload — the data behind the per-method appendix figures.
+
+The sweep runs through the shared-ingest sweep engine by default: per
+workload, every threshold is evaluated in a **single pass** over the
+segments, with the method's feature vectors computed once per segment for
+the whole grid.  ``backend="serial"`` keeps the historical one-pass-per-
+threshold loop as the oracle; both backends produce identical rows.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.metrics import THRESHOLD_STUDY, create_metric
-from repro.evaluation.runner import EvaluationResult, evaluate_method
+from repro.core.metrics import THRESHOLD_STUDY
+from repro.evaluation.runner import EvaluationResult, evaluate_grid
 from repro.experiments.config import (
     BENCHMARK_NAMES,
     ExperimentScale,
     get_scale,
     prepared_workload,
 )
+from repro.sweep.plan import SweepPlan
 
 __all__ = ["threshold_study", "threshold_study_rows"]
 
@@ -27,10 +34,13 @@ def threshold_study(
     thresholds: Optional[Sequence[float]] = None,
     *,
     scale: ExperimentScale | str | None = None,
+    backend: str = "sweep",
 ) -> dict[str, list[EvaluationResult]]:
     """Sweep a method's threshold over every workload.
 
     Returns ``{workload name: [result per threshold, in threshold order]}``.
+    ``backend`` selects the shared-ingest sweep engine (``"sweep"``, the
+    default) or the serial per-threshold oracle loop (``"serial"``).
     """
     if method == "iter_avg":
         raise ValueError("iter_avg takes no threshold and is not part of the threshold study")
@@ -41,15 +51,17 @@ def threshold_study(
     scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
     workloads = tuple(workloads) if workloads is not None else BENCHMARK_NAMES
     thresholds = tuple(thresholds) if thresholds is not None else THRESHOLD_STUDY[method]
+    # The grid evaluates each distinct threshold once; repeated values in the
+    # caller's sequence re-use the same row, preserving the documented
+    # one-result-per-requested-threshold shape.
+    plan = SweepPlan((method, float(t)) for t in dict.fromkeys(float(t) for t in thresholds))
 
     results: dict[str, list[EvaluationResult]] = {}
     for name in workloads:
         prepared = prepared_workload(name, scale)
-        per_threshold = []
-        for threshold in thresholds:
-            metric = create_metric(method, threshold)
-            per_threshold.append(evaluate_method(prepared, metric, keep_comparison=False))
-        results[name] = per_threshold
+        rows = evaluate_grid(prepared, plan, keep_comparison=False, backend=backend)
+        by_key = {config.key: row for config, row in zip(plan.configs, rows)}
+        results[name] = [by_key[(method, float(t))] for t in thresholds]
     return results
 
 

@@ -24,6 +24,7 @@ from repro.pipeline.engine import (
     PipelineResult,
     ReductionPipeline,
     reduce_pipeline,
+    sweep_pipeline,
 )
 from repro.pipeline.stats import PipelineStats
 from repro.pipeline.store import LRUStore, RepresentativeStore, StoreCounters, UnboundedStore, create_store
@@ -35,6 +36,7 @@ __all__ = [
     "PipelineResult",
     "ReductionPipeline",
     "reduce_pipeline",
+    "sweep_pipeline",
     "PipelineStats",
     "RepresentativeStore",
     "UnboundedStore",

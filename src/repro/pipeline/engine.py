@@ -71,7 +71,13 @@ from repro.trace.segments import iter_segments
 from repro.trace.trace import SegmentedRankTrace, SegmentedTrace, Trace
 from repro.trace.merge import MergedReducedTrace, merge_reduced_trace
 
-__all__ = ["PipelineConfig", "PipelineResult", "ReductionPipeline", "reduce_pipeline"]
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "ReductionPipeline",
+    "reduce_pipeline",
+    "sweep_pipeline",
+]
 
 EXECUTORS = ("serial", "thread", "process")
 
@@ -420,3 +426,95 @@ def reduce_pipeline(
 ) -> PipelineResult:
     """Convenience wrapper: ``ReductionPipeline(metric, config).reduce(source)``."""
     return ReductionPipeline(metric, config).reduce(source, name=name)
+
+
+def sweep_pipeline(
+    source: SegmentSource,
+    plan,
+    config: Optional[PipelineConfig] = None,
+    *,
+    name: Optional[str] = None,
+    instrument: bool = False,
+):
+    """Run a whole sweep grid over ``source``, parallelising where possible.
+
+    For indexed (``.rpb``) file sources and a pooled executor, the grid is
+    fanned out as **(rank-shard × feature-family)** tasks: each pool worker
+    opens the file, decodes exactly one rank's byte range, and runs one
+    family's configs over it in a single shared pass — so ingestion *and*
+    the grid parallelise, task payloads carry only a path, a rank id, and
+    (method, threshold) pairs, and vector sharing is preserved inside every
+    task (configs of different families share no vectors anyway).
+
+    Everything else — in-memory traces, forward-only text files, serial or
+    single-worker configs, single-rank files — runs the whole grid through
+    one shared segment stream in this process (``dispatch="inline"``), which
+    is the sweep engine's home ground: segments are streamed exactly once
+    for all configs.
+
+    ``config.store_capacity`` bounds each config's per-rank store as usual;
+    ``config.merge`` does not apply to sweeps and is ignored.  Returns a
+    :class:`~repro.sweep.results.SweepResult`; per-config outputs are
+    byte-identical to solo serial reductions in either dispatch mode.
+    """
+    from repro.sweep.engine import (
+        SweepEngine,
+        _sweep_shard_task,
+        merge_rank_groups,
+    )
+    from repro.sweep.plan import SweepPlan
+
+    if not isinstance(plan, SweepPlan):
+        plan = SweepPlan(plan)
+    config = config or PipelineConfig()
+    engine = SweepEngine(
+        plan, store_capacity=config.store_capacity, instrument=instrument
+    )
+    shard_ranks = indexed_source_ranks(source)
+    workers = config.resolved_workers()
+    if (
+        config.executor == "serial"
+        or workers == 1
+        or shard_ranks is None
+        or len(shard_ranks) <= 1
+    ):
+        return engine.sweep(source, name=name)
+
+    started = time.perf_counter()
+    path = str(Path(source))
+    groups = [
+        tuple(c.key for c in family.configs) for family in plan.families
+    ]
+    n_tasks = len(shard_ranks) * len(groups)
+    workers = min(workers, max(1, n_tasks))
+    if config.executor == "thread":
+        pool_cls, pool_kwargs = ThreadPoolExecutor, {}
+    else:
+        pool_cls, pool_kwargs = ProcessPoolExecutor, {}
+    results: dict[tuple[int, int], object] = {}
+    with pool_cls(max_workers=workers, **pool_kwargs) as pool:
+        futures = {
+            pool.submit(
+                _sweep_shard_task,
+                group,
+                path,
+                rank,
+                config.store_capacity,
+                instrument,
+            ): (rank_index, group_index)
+            for rank_index, rank in enumerate(shard_ranks)
+            for group_index, group in enumerate(groups)
+        }
+        for future, position in futures.items():
+            results[position] = future.result()
+
+    rank_sweeps = [
+        merge_rank_groups(
+            [results[(rank_index, group_index)] for group_index in range(len(groups))]
+        )
+        for rank_index in range(len(shard_ranks))
+    ]
+    result = engine._assemble(
+        name or source_name(source), rank_sweeps, started, dispatch="shard"
+    )
+    return result

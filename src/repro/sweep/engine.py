@@ -1,0 +1,503 @@
+"""Shared-ingest sweep engine: one segment stream, N reducer states.
+
+For each rank the engine runs the paper's matching algorithm for *every*
+config of a :class:`~repro.sweep.plan.SweepPlan` simultaneously, sharing all
+the per-segment work that does not depend on the config:
+
+* the segment stream itself (segments are decoded/streamed exactly once);
+* the normalisation (``relative_to_start``) and the structural key;
+* each feature family's feature vector, computed once per segment and used
+  both as the ``match_batch`` probe of every member config and — via the
+  :class:`~repro.core.reduced.StoredSegment` vector cache — as the candidate
+  row when a member config stores the segment as a new representative.
+
+Everything config-dependent stays private per config: the representative
+store, the :class:`~repro.core.candidates.CandidateList` buckets and their
+row matrices, the reduced-trace output, and the segment-id sequence.  The
+per-config decisions are made by the same kernels the serial reducer uses,
+in the same order, so each config's reduced trace serializes byte-identical
+to a solo :class:`~repro.core.reducer.TraceReducer` run (the equivalence
+suite asserts exactly that for all nine metrics).
+
+Configs whose metric mutates its stored representatives (``iter_avg``) get a
+private normalised copy of each segment they store; all other configs share
+one normalised segment object per input segment, which is safe because
+matching and serialization never write to it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.candidates import CandidateList, MatchCounters, first_match_index
+from repro.core.metrics.base import SimilarityMetric
+from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
+from repro.pipeline.store import StoreCounters, create_store
+from repro.pipeline.stream import (
+    SegmentSource,
+    rank_segment_streams,
+    shard_segment_stream,
+    source_name,
+)
+from repro.sweep.plan import SweepConfig, SweepPlan
+from repro.sweep.results import ConfigOutcome, SweepResult
+from repro.trace.segments import Segment
+
+__all__ = ["SweepStats", "SweepEngine", "sweep_source"]
+
+
+@dataclass(slots=True)
+class SweepStats:
+    """Instrumentation of one sweep run (whole grid, all ranks)."""
+
+    n_configs: int = 0
+    n_families: int = 0
+    n_ranks: int = 0
+    n_segments: int = 0
+    #: Feature-vector computations actually performed (per segment × family).
+    vector_builds: int = 0
+    #: Vector computations a per-config serial loop would have performed for
+    #: the same stream (per segment × vectorized config).
+    vector_builds_naive: int = 0
+    total_seconds: float = 0.0
+    #: How the grid reached the reducer states: ``inline`` (one shared stream
+    #: in this process) or ``shard`` ((rank × family) pool tasks).
+    dispatch: str = "inline"
+
+    @property
+    def vector_builds_saved(self) -> int:
+        """Vector computations avoided by family sharing."""
+        return max(0, self.vector_builds_naive - self.vector_builds)
+
+    @property
+    def sharing_factor(self) -> float:
+        """Naive vector builds per actual build (1.0 = no sharing)."""
+        if self.vector_builds == 0:
+            return 1.0
+        return self.vector_builds_naive / self.vector_builds
+
+    def rows(self) -> list[list]:
+        """(property, value) rows for the CLI table."""
+        return [
+            ["configs", self.n_configs],
+            ["feature families", self.n_families],
+            ["task dispatch", self.dispatch],
+            ["ranks", self.n_ranks],
+            ["segments (streamed once)", self.n_segments],
+            ["vector builds", self.vector_builds],
+            ["vector builds saved", self.vector_builds_saved],
+            ["vector sharing factor", f"{self.sharing_factor:.2f}x"],
+            ["sweep wall time (s)", f"{self.total_seconds:.4f}"],
+        ]
+
+
+class _InternedKey:
+    """A structural key wrapper with a cached hash, interned per rank.
+
+    Every config's store is keyed by the segment's structural key — a large
+    nested tuple whose hash is recomputed on every dict operation.  The sweep
+    engine hashes each distinct structure once per rank, then hands all N
+    stores the same wrapper object: its hash is a cached int and, because the
+    wrapper is interned, dict probes succeed on pointer identity without ever
+    re-comparing the underlying tuple.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: tuple) -> None:
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, _InternedKey):
+            return self.value == other.value
+        return NotImplemented
+
+
+class _ConfigState:
+    """One config's private reducer state for one rank."""
+
+    __slots__ = (
+        "config",
+        "metric",
+        "threshold",
+        "vectorized",
+        "vector_key",
+        "mutates",
+        "store",
+        "lookup",
+        "reduced",
+        "next_id",
+        "match_counters",
+    )
+
+    def __init__(
+        self,
+        config: SweepConfig,
+        metric: SimilarityMetric,
+        vector_key,
+        rank: int,
+        store_capacity: Optional[int],
+        instrument: bool,
+    ) -> None:
+        self.config = config
+        self.metric = metric
+        self.threshold = metric.threshold
+        self.vectorized = vector_key is not None
+        self.vector_key = vector_key
+        self.mutates = metric.mutates_stored
+        self.store = create_store(store_capacity)
+        self.lookup = self.store.candidates  # prebound: hottest call in the loop
+        self.reduced = ReducedRankTrace(rank=rank)
+        self.next_id = 0
+        self.match_counters = MatchCounters() if instrument else None
+
+
+@dataclass(slots=True)
+class _RankSweep:
+    """Everything one rank's one-pass sweep produced."""
+
+    rank: int
+    reduced: dict[tuple, ReducedRankTrace]
+    store_counters: dict[tuple, StoreCounters]
+    match_counters: dict[tuple, MatchCounters]
+    n_segments: int = 0
+    vector_builds: int = 0
+    vector_builds_naive: int = 0
+
+
+def merge_rank_groups(parts: list[_RankSweep]) -> _RankSweep:
+    """Merge one rank's per-family-group sweeps into a single rank sweep.
+
+    Used by the sharded dispatch, where each (rank × family group) pool task
+    re-streams the rank independently: config outcomes are disjoint across
+    groups, every group saw the same segments (so the segment count is taken
+    once, not summed), and vector-build counters add up.
+    """
+    if not parts:
+        raise ValueError("cannot merge an empty list of rank sweeps")
+    merged = parts[0]
+    for part in parts[1:]:
+        if part.rank != merged.rank:
+            raise ValueError(f"cannot merge ranks {merged.rank} and {part.rank}")
+        merged.reduced.update(part.reduced)
+        merged.store_counters.update(part.store_counters)
+        merged.match_counters.update(part.match_counters)
+        merged.vector_builds += part.vector_builds
+        merged.vector_builds_naive += part.vector_builds_naive
+    return merged
+
+
+def _sweep_shard_task(
+    specs: tuple[tuple, ...],
+    path: str,
+    rank: int,
+    store_capacity: Optional[int],
+    instrument: bool,
+) -> _RankSweep:
+    """One pool task of a sharded sweep: (rank shard × config group).
+
+    The payload is just a file path, a rank id, and (method, threshold)
+    pairs; the worker opens the indexed file, decodes only the rank's byte
+    range, and runs the group's configs over it in one shared pass.
+    """
+    plan = SweepPlan([SweepConfig(method, threshold) for method, threshold in specs])
+    engine = SweepEngine(plan, store_capacity=store_capacity, instrument=instrument)
+    return engine.sweep_rank(rank, shard_segment_stream(path, rank))
+
+
+class SweepEngine:
+    """Evaluates a whole sweep plan in a single pass over each rank's segments.
+
+    ``store_capacity`` bounds every config's per-rank representative store
+    (``None`` keeps the unbounded byte-identical default, exactly as in the
+    pipeline).  ``instrument=True`` additionally times the match stage per
+    config (one timer pair per config per candidate segment — measurable
+    overhead, so it is off by default).
+    """
+
+    def __init__(
+        self,
+        plan: SweepPlan,
+        *,
+        store_capacity: Optional[int] = None,
+        instrument: bool = False,
+    ) -> None:
+        if not isinstance(plan, SweepPlan):
+            plan = SweepPlan(plan)
+        self.plan = plan
+        self.store_capacity = store_capacity
+        self.instrument = instrument
+
+    # -- per-rank reduction ------------------------------------------------------
+
+    def sweep_rank(self, rank: int, segments: Iterable[Segment]) -> _RankSweep:
+        """Run every config of the plan over one rank's segment stream."""
+        instrument = self.instrument
+        capacity = self.store_capacity
+        # Per family: the vector key plus the member states grouped by metric
+        # *kind* (class).  Metric instances are fresh per rank, mirroring the
+        # pipeline's per-task metric copies (metrics hold no cross-rank
+        # state, but iter_avg's mutation path must never alias).  Configs of
+        # one kind share a threshold-independent ``match_stats`` kernel, so
+        # the engine evaluates each kind's stacked candidate rows in a single
+        # NumPy pass per segment and applies each config's threshold as a
+        # cheap comparison over its own slice.
+        families: list[tuple[object, list[_ConfigState], list[list[_ConfigState]]]] = []
+        for family in self.plan.families:
+            states = [
+                _ConfigState(c, c.create(), family.vector_key, rank, capacity, instrument)
+                for c in family.configs
+            ]
+            by_kind: dict[type, list[_ConfigState]] = {}
+            if family.vectorized:
+                for state in states:
+                    bucket = by_kind.get(type(state.metric))
+                    if bucket is None:
+                        by_kind[type(state.metric)] = bucket = []
+                    bucket.append(state)
+            # (member states, their thresholds as a row-multiplier source)
+            kinds = [
+                (kind_states, np.array([s.threshold for s in kind_states]))
+                for kind_states in by_kind.values()
+            ]
+            families.append((family.vector_key, states, kinds))
+
+        n_segments = 0
+        vector_builds = 0
+        vector_builds_naive = 0
+        perf_counter = time.perf_counter
+        interned: dict[tuple, _InternedKey] = {}
+        concatenate = np.concatenate
+
+        for segment in segments:
+            n_segments += 1
+            relative = segment.relative_to_start()
+            structure = relative.structure()
+            key = interned.get(structure)
+            if key is None:
+                key = interned[structure] = _InternedKey(structure)
+            for vector_key, states, kinds in families:
+                if vector_key is None:
+                    # Scan-only family (iteration methods): no shared vector.
+                    for state in states:
+                        reduced = state.reduced
+                        reduced.n_segments += 1
+                        candidates = state.lookup(key)
+                        chosen = None
+                        if candidates:
+                            reduced.n_possible_matches += 1
+                            counters = state.match_counters
+                            started = perf_counter() if counters is not None else 0.0
+                            chosen = state.metric.match_candidates(relative, candidates)
+                            if counters is not None:
+                                counters.seconds += perf_counter() - started
+                                counters.calls += 1
+                                counters.rows_compared += len(candidates)
+                        self._record(state, key, segment, relative, candidates, chosen, None)
+                    continue
+
+                # One build serves every member config, both as the match
+                # probe and as the stored candidate's cached row.
+                vector = states[0].metric.build_vector(relative)
+                vector_builds += 1
+                vector_builds_naive += len(states)
+                for kind_states, kind_thresholds in kinds:
+                    # Gather each member's candidates; members with none
+                    # store immediately, the rest join the stacked kernel.
+                    participants = []
+                    for state in kind_states:
+                        state.reduced.n_segments += 1
+                        candidates = state.lookup(key)
+                        if candidates:
+                            state.reduced.n_possible_matches += 1
+                            if isinstance(candidates, CandidateList):
+                                matrix, scales = candidates.matrix_and_scales(state.metric)
+                                participants.append((state, candidates, matrix, scales))
+                            else:  # pragma: no cover - stores always bucket
+                                chosen = state.metric.match_candidates(relative, candidates)
+                                self._record(
+                                    state, key, segment, relative, candidates, chosen, vector
+                                )
+                        else:
+                            self._record(state, key, segment, relative, candidates, None, vector)
+                    if not participants:
+                        continue
+                    counted = perf_counter() if instrument else 0.0
+                    if len(participants) == 1:
+                        state, candidates, matrix, scales = participants[0]
+                        index = state.metric.match_batch(vector, matrix, scales)
+                        chosen = candidates[index] if index is not None else None
+                        self._record(state, key, segment, relative, candidates, chosen, vector)
+                    else:
+                        # One kernel pass over all members' stacked rows; the
+                        # statistics and the mask are row-wise, so each
+                        # member's slice is bitwise what its own match_batch
+                        # would compute.  Thresholds enter as one repeated
+                        # row-multiplier instead of a multiply per member.
+                        counts = [p[2].shape[0] for p in participants]
+                        stacked = concatenate([p[2] for p in participants])
+                        if participants[0][3] is not None:
+                            stacked_scales = concatenate([p[3] for p in participants])
+                        else:
+                            stacked_scales = None
+                        stat, base = participants[0][0].metric.match_stats(
+                            vector, stacked, stacked_scales
+                        )
+                        if len(participants) == len(kind_states):
+                            thresholds = kind_thresholds
+                        else:
+                            thresholds = np.array([p[0].threshold for p in participants])
+                        per_row = np.repeat(thresholds, counts)
+                        mask = stat <= (per_row if base is None else per_row * base)
+                        offset = 0
+                        for (state, candidates, _, _), count in zip(participants, counts):
+                            stop = offset + count
+                            index = first_match_index(mask[offset:stop])
+                            offset = stop
+                            chosen = candidates[index] if index is not None else None
+                            self._record(
+                                state, key, segment, relative, candidates, chosen, vector
+                            )
+                    if instrument:
+                        elapsed = perf_counter() - counted
+                        share = elapsed / len(participants)
+                        for state, candidates, _, _ in participants:
+                            counters = state.match_counters
+                            counters.seconds += share
+                            counters.calls += 1
+                            counters.rows_compared += len(candidates)
+
+        result = _RankSweep(
+            rank=rank,
+            reduced={},
+            store_counters={},
+            match_counters={},
+            n_segments=n_segments,
+            vector_builds=vector_builds,
+            vector_builds_naive=vector_builds_naive,
+        )
+        for _, states, _ in families:
+            for state in states:
+                result.reduced[state.config.key] = state.reduced
+                result.store_counters[state.config.key] = state.store.counters
+                if state.match_counters is not None:
+                    result.match_counters[state.config.key] = state.match_counters
+        return result
+
+    @staticmethod
+    def _record(
+        state: _ConfigState,
+        key,
+        segment: Segment,
+        relative: Segment,
+        candidates,
+        chosen: Optional[StoredSegment],
+        vector,
+    ) -> None:
+        """One config's match/store bookkeeping for one segment.
+
+        Mirrors the tail of the serial reducer's loop exactly: record the
+        execution, update the chosen representative on a match (refreshing
+        its cached rows if the metric mutates it), or store the segment as a
+        new representative — seeding its vector cache with the family vector
+        so the candidate row is never rebuilt.
+        """
+        reduced = state.reduced
+        if chosen is not None:
+            reduced.n_matches += 1
+            reduced.execs.append((chosen.segment_id, segment.start))
+            reduced.exec_matched.append(True)
+            state.metric.on_match(relative, chosen)
+            if state.mutates:
+                refresh = getattr(candidates, "refresh", None)
+                if refresh is not None:
+                    refresh(chosen)
+        else:
+            if state.mutates:
+                # This config will rewrite the stored timestamps in place
+                # (iter_avg's running mean), so it must not share the
+                # normalised segment object with the other configs.
+                to_store = segment.relative_to_start()
+            else:
+                to_store = relative
+            stored = StoredSegment(segment_id=state.next_id, segment=to_store)
+            state.next_id += 1
+            if vector is not None and not state.mutates:
+                stored.cached_vector(state.vector_key, lambda _s: vector)
+            state.store.add(key, stored)
+            reduced.stored.append(stored)
+            reduced.execs.append((stored.segment_id, segment.start))
+            reduced.exec_matched.append(False)
+
+    # -- whole-source reduction ----------------------------------------------------
+
+    def sweep(self, source: SegmentSource, *, name: Optional[str] = None) -> SweepResult:
+        """One shared pass over every rank of ``source``, for the whole grid."""
+        started = time.perf_counter()
+        name = name or source_name(source)
+        rank_sweeps = [
+            self.sweep_rank(rank, segments)
+            for rank, segments in rank_segment_streams(source)
+        ]
+        return self._assemble(name, rank_sweeps, started, dispatch="inline")
+
+    def _assemble(
+        self,
+        name: str,
+        rank_sweeps: list[_RankSweep],
+        started: float,
+        *,
+        dispatch: str,
+    ) -> SweepResult:
+        """Reassemble per-rank sweeps (in rank-stream order) into the grid."""
+        outcomes: list[ConfigOutcome] = []
+        for config in self.plan.configs:
+            metric = config.create()
+            reduced = ReducedTrace(
+                name=name, method=metric.name, threshold=metric.threshold
+            )
+            store = StoreCounters()
+            match: Optional[MatchCounters] = MatchCounters() if self.instrument else None
+            for rank_sweep in rank_sweeps:
+                reduced.ranks.append(rank_sweep.reduced[config.key])
+                store = store.merged_with(rank_sweep.store_counters[config.key])
+                if match is not None and config.key in rank_sweep.match_counters:
+                    match = match.merged_with(rank_sweep.match_counters[config.key])
+            outcomes.append(
+                ConfigOutcome(config=config, reduced=reduced, store=store, match=match)
+            )
+        stats = SweepStats(
+            n_configs=self.plan.n_configs,
+            n_families=self.plan.n_families,
+            n_ranks=len(rank_sweeps),
+            n_segments=sum(r.n_segments for r in rank_sweeps),
+            vector_builds=sum(r.vector_builds for r in rank_sweeps),
+            vector_builds_naive=sum(r.vector_builds_naive for r in rank_sweeps),
+            total_seconds=time.perf_counter() - started,
+            dispatch=dispatch,
+        )
+        return SweepResult(name=name, outcomes=outcomes, stats=stats)
+
+
+def sweep_source(
+    source: SegmentSource,
+    plan: SweepPlan | Iterable,
+    *,
+    store_capacity: Optional[int] = None,
+    instrument: bool = False,
+    name: Optional[str] = None,
+) -> SweepResult:
+    """Convenience wrapper: ``SweepEngine(plan).sweep(source)``."""
+    return SweepEngine(
+        plan, store_capacity=store_capacity, instrument=instrument
+    ).sweep(source, name=name)

@@ -1,0 +1,230 @@
+"""Sweep plans: expand config grids and group them into feature families.
+
+A :class:`SweepConfig` names one (method, threshold) combination.  A
+:class:`SweepPlan` holds an ordered list of distinct configs plus their
+grouping into :class:`FeatureFamily`\\ s: configs whose metrics derive the
+*same* feature vector from any given segment, so the sweep engine computes
+that vector once per segment per family instead of once per config.
+
+The family key is the metric's ``vector_key()`` — the same key the
+:class:`~repro.core.reduced.StoredSegment` vector cache uses — so grouping
+can never merge configs with different vector layouts: relDiff/absDiff share
+the canonical pairwise layout, the three Minkowski variants share the
+Minkowski layout, and each wavelet transform (and padding ablation) is its
+own family because the rows hold transformed coefficients.  Methods without
+feature vectors (``iter_k``, ``iter_avg``) each form a scan-only family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+from repro.core.metrics import THRESHOLD_STUDY, create_metric
+from repro.core.metrics.base import DistanceMetric, SimilarityMetric
+
+__all__ = ["SweepConfig", "FeatureFamily", "SweepPlan"]
+
+#: Anything that names one sweep configuration.
+ConfigSpec = Union[str, "SweepConfig", SimilarityMetric, tuple]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepConfig:
+    """One (method, threshold) combination of a sweep grid.
+
+    Configs are value objects: the metric instance itself is created on
+    demand (:meth:`create`), so a config is cheap to hash, compare, and ship
+    to pool workers as a task payload.
+    """
+
+    method: str
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so a bad grid fails at plan construction, not in
+        # the middle of a long sweep (create_metric re-checks on each call).
+        create_metric(self.method, self.threshold)
+
+    @property
+    def key(self) -> tuple:
+        """Identity of the config inside one plan/result grid."""
+        return (self.method, self.threshold)
+
+    def create(self) -> SimilarityMetric:
+        """Fresh metric instance for this config."""
+        return create_metric(self.method, self.threshold)
+
+    def describe(self) -> str:
+        return self.create().describe()
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureFamily:
+    """Configs whose metrics consume identical per-segment feature vectors.
+
+    ``vector_key`` is the shared :meth:`DistanceMetric.vector_key` of every
+    member, or ``None`` for a scan-only family (iteration methods, which read
+    no feature vectors).  Only vectorized families enable vector sharing; a
+    scan-only family always has exactly one member.
+    """
+
+    vector_key: Optional[Hashable]
+    configs: tuple[SweepConfig, ...]
+
+    @property
+    def vectorized(self) -> bool:
+        return self.vector_key is not None
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    def describe(self) -> str:
+        members = ", ".join(c.describe() for c in self.configs)
+        kind = "shared vectors" if self.vectorized else "scan-only"
+        return f"[{kind}] {members}"
+
+
+def _config_from_spec(spec: ConfigSpec) -> SweepConfig:
+    if isinstance(spec, SweepConfig):
+        return spec
+    if isinstance(spec, str):
+        return SweepConfig(spec)
+    if isinstance(spec, SimilarityMetric):
+        # Registry identity only: constructor extras outside (name, threshold)
+        # — e.g. the wavelet padding ablation — are not representable as a
+        # grid config, so reject instances that would silently lose them.
+        rebuilt = create_metric(spec.name, spec.threshold)
+        if type(rebuilt) is not type(spec) or vars(rebuilt) != vars(spec):
+            raise ValueError(
+                f"metric instance {spec!r} is not equivalent to "
+                f"create_metric({spec.name!r}, {spec.threshold!r}); sweep configs "
+                "can only carry registry metrics identified by (method, threshold)"
+            )
+        return SweepConfig(spec.name, spec.threshold)
+    if isinstance(spec, tuple) and len(spec) == 2:
+        name, threshold = spec
+        return SweepConfig(name, threshold)
+    raise TypeError(
+        "sweep config spec must be a method name, a (name, threshold) pair, a "
+        f"SweepConfig, or a registry metric instance; got {spec!r}"
+    )
+
+
+class SweepPlan:
+    """An ordered, de-duplicated config grid grouped into feature families."""
+
+    __slots__ = ("configs", "families")
+
+    def __init__(self, specs: Iterable[ConfigSpec]):
+        configs: list[SweepConfig] = []
+        seen: set[tuple] = set()
+        for spec in specs:
+            config = _config_from_spec(spec)
+            if config.key in seen:
+                continue
+            seen.add(config.key)
+            configs.append(config)
+        if not configs:
+            raise ValueError("a sweep plan needs at least one configuration")
+        self.configs: tuple[SweepConfig, ...] = tuple(configs)
+        self.families: tuple[FeatureFamily, ...] = self._group(self.configs)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_grid(
+        cls,
+        methods: Sequence[str],
+        thresholds: Optional[Sequence[float]] = None,
+        *,
+        thresholds_per_method: Optional[dict[str, Sequence[float]]] = None,
+    ) -> "SweepPlan":
+        """Expand a method × threshold grid into a plan.
+
+        ``thresholds`` applies the same values to every method; with neither
+        ``thresholds`` nor a per-method entry, a method gets the paper's
+        threshold-study values (:data:`~repro.core.metrics.THRESHOLD_STUDY`),
+        and ``iter_avg`` — which takes no threshold — contributes its single
+        config.
+        """
+        specs: list[ConfigSpec] = []
+        for method in methods:
+            if method == "iter_avg":
+                specs.append(SweepConfig(method))
+                continue
+            values: Optional[Sequence[float]] = None
+            if thresholds_per_method is not None and method in thresholds_per_method:
+                values = thresholds_per_method[method]
+            elif thresholds is not None:
+                values = thresholds
+            elif method in THRESHOLD_STUDY:
+                values = THRESHOLD_STUDY[method]
+            if values is None:
+                raise ValueError(f"no thresholds given for method {method!r}")
+            specs.extend(SweepConfig(method, float(v)) for v in values)
+        return cls(specs)
+
+    @classmethod
+    def single(cls, method: str, threshold: Optional[float] = None) -> "SweepPlan":
+        """Degenerate one-config plan (useful as an oracle harness)."""
+        return cls([SweepConfig(method, threshold)])
+
+    @staticmethod
+    def _group(configs: Sequence[SweepConfig]) -> tuple[FeatureFamily, ...]:
+        ordered: list[Optional[Hashable]] = []
+        members: dict[Optional[Hashable], list[SweepConfig]] = {}
+        scan_only = object()  # each scan-only config is its own family
+        for config in configs:
+            metric = config.create()
+            if isinstance(metric, DistanceMetric):
+                key: Hashable = metric.vector_key()
+                bucket = members.get(key)
+                if bucket is None:
+                    members[key] = [config]
+                    ordered.append(key)
+                else:
+                    bucket.append(config)
+            else:
+                token = (scan_only, config.key)
+                members[token] = [config]
+                ordered.append(token)
+        families = []
+        for key in ordered:
+            configs_in = tuple(members[key])
+            vector_key = None if isinstance(key, tuple) and key and key[0] is scan_only else key
+            families.append(FeatureFamily(vector_key=vector_key, configs=configs_in))
+        return tuple(families)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    @property
+    def n_families(self) -> int:
+        return len(self.families)
+
+    @property
+    def n_shared_configs(self) -> int:
+        """Configs living in vectorized families (candidates for sharing)."""
+        return sum(f.n_configs for f in self.families if f.vectorized)
+
+    def config_keys(self) -> list[tuple]:
+        return [c.key for c in self.configs]
+
+    def describe(self) -> str:
+        lines = [f"sweep plan: {self.n_configs} configs in {self.n_families} families"]
+        lines += [f"  {family.describe()}" for family in self.families]
+        return "\n".join(lines)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepPlan {self.n_configs} configs / {self.n_families} families>"

@@ -1,0 +1,127 @@
+"""Sweep results: the per-config grid one sweep run produced.
+
+A :class:`SweepResult` holds one :class:`ConfigOutcome` per config of the
+plan, in plan order: the config, its reduced trace (byte-identical to a solo
+serial reduction), and its store/match instrumentation.  The grid converts to
+:class:`~repro.evaluation.runner.EvaluationResult` rows — % file size,
+degree of matching, approximation distance, retention of trends — via
+:meth:`SweepResult.evaluation_results`, which reuses the exact criteria code
+of the serial evaluation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.core.candidates import MatchCounters
+from repro.core.reduced import ReducedTrace
+from repro.pipeline.store import StoreCounters
+from repro.sweep.plan import SweepConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evaluation.runner import EvaluationResult, PreparedWorkload
+    from repro.sweep.engine import SweepStats
+
+__all__ = ["ConfigOutcome", "SweepResult"]
+
+_MISSING = object()
+
+
+@dataclass(slots=True)
+class ConfigOutcome:
+    """One config's share of a sweep: its reduced trace plus instrumentation."""
+
+    config: SweepConfig
+    reduced: ReducedTrace
+    store: StoreCounters = field(default_factory=StoreCounters)
+    #: Match-stage timing; only populated by instrumented sweeps.
+    match: Optional[MatchCounters] = None
+
+    def row(self) -> dict:
+        """Reduction-level summary row (no evaluation criteria)."""
+        reduced = self.reduced
+        row = {
+            "method": self.config.method,
+            "threshold": self.config.threshold,
+            "n_segments": reduced.n_segments,
+            "n_stored": reduced.n_stored,
+            "degree_of_matching": reduced.degree_of_matching(),
+            "reduced_bytes": reduced.size_bytes(),
+        }
+        if self.match is not None:
+            row["match_seconds"] = self.match.seconds
+        return row
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """The full grid of one sweep run, in plan order."""
+
+    name: str
+    outcomes: list[ConfigOutcome]
+    stats: "SweepStats"
+
+    def __iter__(self) -> Iterator[ConfigOutcome]:
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def configs(self) -> list[SweepConfig]:
+        return [o.config for o in self.outcomes]
+
+    def outcome_for(
+        self, method: str, threshold: Optional[float] = _MISSING
+    ) -> ConfigOutcome:
+        """Look an outcome up by method (and threshold, when ambiguous)."""
+        matches = [
+            o
+            for o in self.outcomes
+            if o.config.method == method
+            and (threshold is _MISSING or o.config.threshold == threshold)
+        ]
+        if not matches:
+            raise KeyError(f"no sweep outcome for {method!r} / {threshold!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"{len(matches)} outcomes for method {method!r}; pass a threshold"
+            )
+        return matches[0]
+
+    def reduced_for(
+        self, method: str, threshold: Optional[float] = _MISSING
+    ) -> ReducedTrace:
+        return self.outcome_for(method, threshold).reduced
+
+    def rows(self) -> list[dict]:
+        """Reduction-level rows for the whole grid, in plan order."""
+        return [o.row() for o in self.outcomes]
+
+    def evaluation_results(
+        self,
+        prepared: "PreparedWorkload",
+        *,
+        comparison_options=None,
+        keep_comparison: bool = False,
+    ) -> list["EvaluationResult"]:
+        """All four criteria for every config, in plan order.
+
+        Reuses the serial path's criteria code on each config's reduced trace,
+        so a row here equals the row ``evaluate_method`` would produce for the
+        same config (the equivalence tests assert field-for-field equality).
+        """
+        # Imported lazily: evaluation.runner imports the sweep engine for its
+        # grid backend, so a module-level import here would be circular.
+        from repro.evaluation.runner import result_from_reduced
+
+        return [
+            result_from_reduced(
+                prepared,
+                outcome.reduced,
+                comparison_options=comparison_options,
+                keep_comparison=keep_comparison,
+            )
+            for outcome in self.outcomes
+        ]

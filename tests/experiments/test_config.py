@@ -13,6 +13,7 @@ from repro.experiments.config import (
     build_workload,
     clear_workload_cache,
     get_scale,
+    prepared_cache_size,
     prepared_workload,
 )
 
@@ -95,3 +96,33 @@ class TestPreparedCache:
         clear_workload_cache()
         b = prepared_workload("late_sender", "smoke")
         assert a is not b
+
+    def test_cache_keyed_by_full_scale_identity(self):
+        """Two custom profiles sharing a *name* must not alias each other."""
+        from dataclasses import replace
+
+        clear_workload_cache()
+        small = replace(get_scale("smoke"), name="custom")
+        big = replace(small, benchmark_iterations=small.benchmark_iterations * 2)
+        a = prepared_workload("late_sender", small)
+        b = prepared_workload("late_sender", big)
+        assert a is not b
+        assert b.segmented.ranks[0].segments != a.segmented.ranks[0].segments
+        assert prepared_cache_size() == 2
+        assert prepared_workload("late_sender", small) is a
+
+    def test_multi_method_study_prepares_each_workload_once(self):
+        """A whole grid re-uses one PreparedWorkload per (workload, scale)."""
+        from repro.experiments.thresholds import threshold_study
+
+        clear_workload_cache()
+        threshold_study(
+            "absDiff", workloads=("late_sender",), thresholds=(10.0, 1e3), scale="smoke"
+        )
+        assert prepared_cache_size() == 1
+        cached = prepared_workload("late_sender", "smoke")
+        threshold_study(
+            "relDiff", workloads=("late_sender",), thresholds=(0.1, 0.8), scale="smoke"
+        )
+        assert prepared_cache_size() == 1
+        assert prepared_workload("late_sender", "smoke") is cached

@@ -1,0 +1,262 @@
+"""Sweep-vs-serial equivalence: every metric, every source, every dispatch.
+
+The acceptance bar for the sweep engine: for each config of a grid, the
+reduced trace must serialize **byte-identical** to running that config alone
+through the serial :class:`~repro.core.reducer.TraceReducer` oracle —
+whether the grid is swept over an in-memory trace, an indexed ``.rpb`` file
+streamed inline, or ``.rpb`` (rank × family) shard tasks on a pool — and the
+evaluation rows must equal the serial path field for field.
+"""
+
+import pytest
+
+from repro.core.metrics import METRIC_NAMES, THRESHOLD_STUDY, create_metric
+from repro.core.reducer import TraceReducer
+from repro.evaluation.runner import PreparedWorkload, evaluate_grid
+from repro.pipeline.engine import PipelineConfig, reduce_pipeline, sweep_pipeline
+from repro.sweep import SweepEngine, SweepPlan
+from repro.trace.io import serialize_reduced_trace, write_trace
+
+
+#: Every metric with a small threshold grid: two thresholds per threshold
+#: method (strict + loose, from the paper's study values) plus iter_avg.
+def _full_grid() -> SweepPlan:
+    specs = []
+    for method in METRIC_NAMES:
+        if method == "iter_avg":
+            specs.append(method)
+        else:
+            values = THRESHOLD_STUDY[method]
+            specs.append((method, float(values[0])))
+            specs.append((method, float(values[-2])))
+    return SweepPlan(specs)
+
+
+@pytest.fixture(scope="module")
+def raw_trace():
+    from repro.benchmarks_ats import late_sender
+
+    return late_sender(nprocs=4, iterations=6, seed=3).run()
+
+
+@pytest.fixture(scope="module")
+def segmented(raw_trace):
+    return raw_trace.segmented()
+
+
+@pytest.fixture(scope="module")
+def rpb_file(raw_trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("sweep") / "trace.rpb"
+    write_trace(raw_trace, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return _full_grid()
+
+
+def _oracle_bytes(segmented, config):
+    return serialize_reduced_trace(TraceReducer(config.create()).reduce(segmented))
+
+
+class TestInMemoryEquivalence:
+    def test_every_config_byte_identical(self, segmented, plan):
+        result = SweepEngine(plan).sweep(segmented)
+        assert result.stats.dispatch == "inline"
+        assert len(result) == plan.n_configs
+        for outcome in result:
+            assert serialize_reduced_trace(outcome.reduced) == _oracle_bytes(
+                segmented, outcome.config
+            ), f"sweep diverged from serial oracle for {outcome.config.describe()}"
+
+    def test_outcomes_in_plan_order(self, segmented, plan):
+        result = SweepEngine(plan).sweep(segmented)
+        assert [o.config.key for o in result] == plan.config_keys()
+
+    def test_segments_streamed_once(self, segmented, plan):
+        result = SweepEngine(plan).sweep(segmented)
+        n_segments = sum(len(r.segments) for r in segmented.ranks)
+        assert result.stats.n_segments == n_segments
+        # Every config still accounts for the full stream in its own output.
+        for outcome in result:
+            assert outcome.reduced.n_segments == n_segments
+
+    def test_vector_sharing_happened(self, segmented, plan):
+        result = SweepEngine(plan).sweep(segmented)
+        assert result.stats.vector_builds_saved > 0
+        assert result.stats.sharing_factor > 1.0
+
+    def test_instrumented_sweep_identical(self, segmented, plan):
+        plain = SweepEngine(plan).sweep(segmented)
+        timed = SweepEngine(plan, instrument=True).sweep(segmented)
+        for a, b in zip(plain, timed):
+            assert serialize_reduced_trace(a.reduced) == serialize_reduced_trace(b.reduced)
+            assert b.match is not None and b.match.calls > 0
+
+
+class TestFileSourceEquivalence:
+    def test_rpb_inline_byte_identical(self, raw_trace, rpb_file, plan):
+        segmented = raw_trace.segmented()
+        result = sweep_pipeline(rpb_file, plan, PipelineConfig(executor="serial"))
+        assert result.stats.dispatch == "inline"
+        for outcome in result:
+            assert serialize_reduced_trace(outcome.reduced) == _oracle_bytes(
+                segmented, outcome.config
+            )
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_rpb_sharded_byte_identical(self, raw_trace, rpb_file, plan, executor):
+        segmented = raw_trace.segmented()
+        result = sweep_pipeline(
+            rpb_file, plan, PipelineConfig(executor=executor, workers=2)
+        )
+        assert result.stats.dispatch == "shard"
+        for outcome in result:
+            assert serialize_reduced_trace(outcome.reduced) == _oracle_bytes(
+                segmented, outcome.config
+            )
+
+    def test_sharded_stats_count_segments_once_per_rank(self, rpb_file, segmented, plan):
+        result = sweep_pipeline(
+            rpb_file, plan, PipelineConfig(executor="thread", workers=2)
+        )
+        assert result.stats.n_segments == sum(len(r.segments) for r in segmented.ranks)
+        assert result.stats.n_ranks == len(segmented.ranks)
+
+
+class TestBoundedStoreEquivalence:
+    def test_matches_bounded_pipeline_per_config(self, segmented):
+        """With a store bound, the oracle is the (equally bounded) pipeline."""
+        plan = SweepPlan.from_grid(["euclidean", "iter_k"], thresholds_per_method={
+            "euclidean": (0.1, 0.4), "iter_k": (2,),
+        })
+        capacity = 3
+        result = SweepEngine(plan, store_capacity=capacity).sweep(segmented)
+        for outcome in result:
+            reference = reduce_pipeline(
+                segmented,
+                outcome.config.create(),
+                PipelineConfig(executor="serial", store_capacity=capacity),
+            ).reduced
+            assert serialize_reduced_trace(outcome.reduced) == serialize_reduced_trace(
+                reference
+            )
+
+
+class TestEvaluationRows:
+    @pytest.fixture(scope="class")
+    def prepared(self, segmented):
+        return PreparedWorkload.from_segmented("late_sender", segmented)
+
+    def test_grid_rows_equal_serial_rows(self, prepared, plan):
+        sweep_rows = evaluate_grid(prepared, plan, backend="sweep")
+        serial_rows = evaluate_grid(prepared, plan, backend="serial")
+        assert len(sweep_rows) == len(serial_rows) == plan.n_configs
+        for got, want in zip(sweep_rows, serial_rows):
+            assert got.method == want.method
+            assert got.threshold == want.threshold
+            assert got.pct_file_size == want.pct_file_size
+            assert got.degree_of_matching == want.degree_of_matching
+            assert got.approx_distance_us == want.approx_distance_us
+            assert got.trends_retained == want.trends_retained
+            assert got.reduced_bytes == want.reduced_bytes
+            assert got.n_segments == want.n_segments
+            assert got.n_stored == want.n_stored
+
+    def test_grid_rows_from_rpb_shards_equal_serial_rows(
+        self, prepared, rpb_file, plan
+    ):
+        sweep_rows = evaluate_grid(
+            prepared,
+            plan,
+            backend="sweep",
+            pipeline_source=rpb_file,
+            pipeline_config=PipelineConfig(executor="process", workers=2),
+        )
+        serial_rows = evaluate_grid(prepared, plan, backend="serial")
+        for got, want in zip(sweep_rows, serial_rows):
+            assert got.pct_file_size == want.pct_file_size
+            assert got.approx_distance_us == want.approx_distance_us
+
+    def test_unknown_backend_rejected(self, prepared, plan):
+        with pytest.raises(ValueError, match="backend"):
+            evaluate_grid(prepared, plan, backend="quantum")
+
+    def test_pipeline_source_requires_sweep_backend(self, prepared, rpb_file, plan):
+        with pytest.raises(ValueError, match="pipeline_source"):
+            evaluate_grid(prepared, plan, backend="serial", pipeline_source=rpb_file)
+
+
+class TestStudyBackends:
+    """The experiment drivers produce identical studies through either backend."""
+
+    def test_threshold_study_backends_agree(self):
+        from repro.experiments.thresholds import threshold_study
+
+        kwargs = dict(
+            workloads=("late_sender",), thresholds=(10.0, 1e4), scale="smoke"
+        )
+        swept = threshold_study("absDiff", **kwargs)
+        serial = threshold_study("absDiff", backend="serial", **kwargs)
+        for got, want in zip(swept["late_sender"], serial["late_sender"]):
+            assert got.threshold == want.threshold
+            assert got.pct_file_size == want.pct_file_size
+            assert got.approx_distance_us == want.approx_distance_us
+
+    def test_threshold_study_keeps_duplicate_thresholds(self):
+        """Repeated thresholds still yield one row per requested value."""
+        from repro.experiments.thresholds import threshold_study
+
+        study = threshold_study(
+            "absDiff",
+            workloads=("late_sender",),
+            thresholds=(10.0, 10.0, 1e3),
+            scale="smoke",
+        )
+        rows = study["late_sender"]
+        assert [r.threshold for r in rows] == [10.0, 10.0, 1e3]
+        assert rows[0].pct_file_size == rows[1].pct_file_size
+
+    def test_comparative_study_keeps_duplicate_methods(self):
+        from repro.experiments.comparative import comparative_study
+
+        results = comparative_study(
+            ("late_sender",), ("relDiff", "relDiff", "iter_avg"), scale="smoke"
+        )
+        assert [r.method for r in results] == ["relDiff", "relDiff", "iter_avg"]
+
+    def test_comparative_study_backends_agree(self):
+        from repro.experiments.comparative import comparative_study
+
+        methods = ("relDiff", "euclidean", "iter_avg")
+        swept = comparative_study(("late_sender",), methods, scale="smoke")
+        serial = comparative_study(
+            ("late_sender",), methods, scale="smoke", backend="serial"
+        )
+        assert [r.method for r in swept] == list(methods)
+        for got, want in zip(swept, serial):
+            assert got.method == want.method
+            assert got.pct_file_size == want.pct_file_size
+            assert got.degree_of_matching == want.degree_of_matching
+            assert got.trends_retained == want.trends_retained
+
+
+class TestResultAccessors:
+    def test_outcome_lookup(self, segmented):
+        plan = SweepPlan.from_grid(["euclidean"], [0.1, 0.2])
+        result = SweepEngine(plan).sweep(segmented)
+        assert result.reduced_for("euclidean", 0.2).threshold == 0.2
+        with pytest.raises(KeyError, match="pass a threshold"):
+            result.outcome_for("euclidean")
+        with pytest.raises(KeyError, match="no sweep outcome"):
+            result.outcome_for("manhattan")
+
+    def test_rows_shape(self, segmented):
+        plan = SweepPlan.from_grid(["relDiff"], [0.8])
+        result = SweepEngine(plan, instrument=True).sweep(segmented)
+        (row,) = result.rows()
+        assert row["method"] == "relDiff"
+        assert row["threshold"] == 0.8
+        assert "match_seconds" in row
+        assert row["n_stored"] == result.outcomes[0].reduced.n_stored

@@ -115,6 +115,94 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["pipeline"])
 
+    def test_sweep_table_with_verify(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "sweep", "late_sender",
+            "--methods", "euclidean", "manhattan", "--thresholds", "0.2", "0.6",
+            "--verify",
+        )
+        assert code == 0
+        normalized = " ".join(out.split())
+        assert "sweep grid" in out
+        assert "euclidean" in out and "manhattan" in out
+        assert "feature families 1" in normalized  # minkowski layout is shared
+        assert "matches serial oracle yes" in normalized
+
+    def test_sweep_json_report(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "sweep", "late_sender",
+            "--methods", "relDiff", "--thresholds", "0.8", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["configs"][0]["method"] == "relDiff"
+        assert payload["stats"]["n_configs"] == 1
+        assert payload["stats"]["dispatch"] == "inline"
+
+    def test_sweep_serial_backend(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "sweep", "late_sender",
+            "--methods", "iter_avg", "--backend", "serial",
+        )
+        assert code == 0
+        assert "iter_avg" in out
+        assert "shared-ingest stats" not in out  # no sweep stats on the oracle path
+
+    def test_sweep_rpb_trace_uses_shard_dispatch(self, capsys, tmp_path):
+        saved = tmp_path / "full.rpb"
+        code, _ = run_cli(
+            capsys, "--scale", "smoke", "pipeline", "late_sender",
+            "--executor", "serial", "--save-trace", str(saved),
+        )
+        assert code == 0
+        code, out = run_cli(
+            capsys, "sweep", "--trace", str(saved),
+            "--methods", "euclidean", "--thresholds", "0.1", "0.4",
+            "--executor", "process", "--workers", "2", "--verify",
+        )
+        assert code == 0
+        normalized = " ".join(out.split())
+        assert "task dispatch shard" in normalized
+        assert "matches serial oracle yes" in normalized
+
+    def test_sweep_verify_with_bounded_store_uses_bounded_oracle(self, capsys):
+        # A binding --store-capacity must not read as an oracle mismatch: the
+        # serial oracle runs under the same bound as the sweep states.
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "sweep", "sweep3d_8p",
+            "--methods", "relDiff", "--thresholds", "0.8",
+            "--store-capacity", "1", "--verify",
+        )
+        assert code == 0
+        assert "matches serial oracle yes" in " ".join(out.split())
+
+    def test_sweep_serial_backend_rejects_verify_and_capacity(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--scale", "smoke", "sweep", "late_sender",
+                  "--methods", "relDiff", "--backend", "serial", "--verify"])
+        assert excinfo.value.code == 2
+        assert "does not apply" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--scale", "smoke", "sweep", "late_sender",
+                  "--methods", "relDiff", "--backend", "serial",
+                  "--store-capacity", "5"])
+        assert excinfo.value.code == 2
+        assert "sweep backend only" in capsys.readouterr().err
+
+    def test_sweep_trace_and_workload_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "late_sender", "--trace", "x.rpb"])
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_sweep_missing_trace_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--trace", "nope.rpb"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+
     def test_convert_round_trip(self, capsys, tmp_path):
         text = tmp_path / "full.txt"
         code, _ = run_cli(
