@@ -12,10 +12,12 @@ is unset.  See ``repro.experiments.config`` for what each profile means.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 from repro.experiments.config import ExperimentScale, get_scale
+from repro.obs import provenance
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -40,3 +42,15 @@ def emit(experiment_id: str, text: str) -> None:
     print(f"\n{'=' * 78}\n{experiment_id}\n{'=' * 78}\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def write_bench_json(path: Path, report: dict) -> None:
+    """Write a ``BENCH_*.json`` gate report with the shared provenance block.
+
+    Every benchmark gate embeds the same machine/interpreter/commit stamp so
+    recorded numbers can be compared across environments.  The provenance key
+    is added to a copy — callers keep their report dict unchanged.
+    """
+    stamped = dict(report)
+    stamped["provenance"] = provenance()
+    path.write_text(json.dumps(stamped, indent=2) + "\n", encoding="utf-8")

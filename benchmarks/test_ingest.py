@@ -18,13 +18,12 @@ isolates the decode cost.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
 from pathlib import Path
 
-from support import RESULTS_DIR, emit, run_once
+from support import RESULTS_DIR, emit, run_once, write_bench_json
 
 from repro.core.metrics import create_metric
 from repro.experiments.config import build_workload, get_scale
@@ -118,7 +117,7 @@ def _run_comparison() -> dict:
 
 def test_ingest_speedup(benchmark):
     report = run_once(benchmark, _run_comparison)
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_bench_json(BENCH_PATH, report)
 
     rows = [
         [

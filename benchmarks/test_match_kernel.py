@@ -22,11 +22,10 @@ the candidate-scan stage; that bound is asserted, not just recorded.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from support import RESULTS_DIR, emit, run_once
+from support import RESULTS_DIR, emit, run_once, write_bench_json
 
 from repro.core.candidates import MatchCounters
 from repro.core.metrics import DEFAULT_THRESHOLDS, create_metric
@@ -123,7 +122,7 @@ def _run_comparison() -> dict:
 
 def test_match_kernel_speedup(benchmark):
     report = run_once(benchmark, _run_comparison)
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_bench_json(BENCH_PATH, report)
 
     rows = [
         [

@@ -1,0 +1,163 @@
+"""Telemetry overhead guard: the disabled span path must stay under 1%.
+
+The ``repro.obs`` instrumentation sits in the callers of the reduction's
+inner loop (``pipeline.run``, ``rank.reduce``, the decode/merge stages), and
+its whole design contract is that a run with telemetry *disabled* pays only
+the no-op fast path: one global load, one thread-local probe, a shared
+singleton.  This guard makes that contract an asserted number instead of a
+comment:
+
+* it times the disabled ``obs.span`` / ``obs.counter`` paths directly
+  (hundreds of thousands of calls, empty-loop baseline subtracted);
+* it counts how many instrumentation sites one serial reduction actually
+  executes, by running the same reduction once with a recorder installed;
+* it projects the worst-case disabled overhead (site count x per-call cost,
+  with a 4x safety margin) and asserts it is below 1% of the measured
+  match-kernel stage time — the tightest stage budget in the pipeline.
+
+It also re-asserts the byte-identity invariant: recording telemetry must not
+change the reduced output.  Results land in ``BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from support import RESULTS_DIR, emit, run_once, write_bench_json
+
+from repro import obs
+from repro.core.metrics import create_metric
+from repro.experiments.config import build_workload, get_scale
+from repro.pipeline.engine import PipelineConfig, ReductionPipeline
+from repro.trace.io import serialize_reduced_trace
+from repro.util.tables import format_table
+
+BENCH_PATH = RESULTS_DIR.parent / "BENCH_obs_overhead.json"
+
+WORKLOAD = "sweep3d_32p"
+SCALE = "default"
+METHOD = "relDiff"
+
+#: Disabled-path timing loop length: large enough that per-call costs of a
+#: few tens of nanoseconds resolve well above timer granularity.
+N_CALLS = 200_000
+
+#: Projected disabled overhead must stay below this fraction of the
+#: match-kernel stage time.
+MAX_OVERHEAD_FRACTION = 0.01
+
+#: Multiplier on the projected overhead, so the gate holds even if a future
+#: change quadruples the number of instrumentation sites per run.
+SAFETY_FACTOR = 4
+
+
+def _disabled_cost_ns(op) -> float:
+    """Per-call cost of ``op`` with telemetry disabled, baseline-subtracted."""
+    assert not obs.enabled(), "overhead must be measured with telemetry off"
+    started = time.perf_counter_ns()
+    for _ in range(N_CALLS):
+        op()
+    total = time.perf_counter_ns() - started
+    started = time.perf_counter_ns()
+    for _ in range(N_CALLS):
+        pass
+    baseline = time.perf_counter_ns() - started
+    return max(total - baseline, 0) / N_CALLS
+
+
+def _span_site():
+    with obs.span("bench.overhead", rank=0):
+        pass
+
+
+def _counter_site():
+    obs.counter("bench.overhead")
+
+
+def _run_guard() -> dict:
+    segmented = build_workload(WORKLOAD, get_scale(SCALE)).run_segmented()
+    pipeline = ReductionPipeline(
+        create_metric(METHOD, None), PipelineConfig(executor="serial")
+    )
+
+    span_ns = _disabled_cost_ns(_span_site)
+    counter_ns = _disabled_cost_ns(_counter_site)
+
+    started = time.perf_counter()
+    plain = pipeline.reduce(segmented)
+    plain_seconds = time.perf_counter() - started
+
+    with obs.recording("guard") as recorder:
+        recorded = pipeline.reduce(segmented)
+    identical = serialize_reduced_trace(recorded.reduced) == serialize_reduced_trace(
+        plain.reduced
+    )
+
+    # Every span and metric write the recorded run captured is a site the
+    # disabled run paid the no-op fast path for.
+    n_span_sites = recorder.n_spans
+    n_metric_sites = len(recorder.registry)
+    projected_seconds = (
+        SAFETY_FACTOR * (n_span_sites * span_ns + n_metric_sites * counter_ns) / 1e9
+    )
+    match_seconds = plain.stats.match.seconds
+    return {
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "method": METHOD,
+        "cpu_count": os.cpu_count() or 1,
+        "timing_calls": N_CALLS,
+        "disabled_span_ns_per_call": round(span_ns, 2),
+        "disabled_counter_ns_per_call": round(counter_ns, 2),
+        "span_sites_per_run": n_span_sites,
+        "metric_sites_per_run": n_metric_sites,
+        "safety_factor": SAFETY_FACTOR,
+        "projected_overhead_seconds": projected_seconds,
+        "match_kernel_seconds": round(match_seconds, 6),
+        "reduction_seconds": round(plain_seconds, 6),
+        "overhead_vs_match_kernel": (
+            projected_seconds / match_seconds if match_seconds else 0.0
+        ),
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        "identical_output": identical,
+    }
+
+
+def test_disabled_telemetry_overhead(benchmark):
+    report = run_once(benchmark, _run_guard)
+    write_bench_json(BENCH_PATH, report)
+
+    rows = [
+        ["disabled span (ns/call)", f"{report['disabled_span_ns_per_call']:.1f}"],
+        ["disabled counter (ns/call)", f"{report['disabled_counter_ns_per_call']:.1f}"],
+        ["span sites per run", report["span_sites_per_run"]],
+        ["metric sites per run", report["metric_sites_per_run"]],
+        [
+            f"projected overhead x{report['safety_factor']} (us)",
+            f"{1e6 * report['projected_overhead_seconds']:.2f}",
+        ],
+        ["match-kernel stage (s)", f"{report['match_kernel_seconds']:.4f}"],
+        ["reduction total (s)", f"{report['reduction_seconds']:.4f}"],
+        [
+            "overhead vs match kernel",
+            f"{100.0 * report['overhead_vs_match_kernel']:.4f}%",
+        ],
+        ["telemetry-on output identical", "yes" if report["identical_output"] else "NO"],
+    ]
+    emit(
+        "BENCH_obs_overhead",
+        format_table(
+            ["property", "value"],
+            rows,
+            title=f"disabled-telemetry overhead — {WORKLOAD}/{SCALE}",
+        ),
+    )
+
+    assert report["identical_output"], "telemetry changed the reduced output"
+    assert report["match_kernel_seconds"] > 0
+    assert report["overhead_vs_match_kernel"] < MAX_OVERHEAD_FRACTION, (
+        f"projected disabled-telemetry overhead is "
+        f"{100.0 * report['overhead_vs_match_kernel']:.3f}% of the match-kernel "
+        f"stage; the budget is {100.0 * MAX_OVERHEAD_FRACTION:.0f}%"
+    )

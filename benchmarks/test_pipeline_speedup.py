@@ -13,11 +13,10 @@ the test only *asserts* equivalence, never a minimum speedup.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from support import RESULTS_DIR, emit, run_once
+from support import RESULTS_DIR, emit, run_once, write_bench_json
 
 from repro.core.metrics import create_metric
 from repro.core.reducer import TraceReducer
@@ -77,7 +76,7 @@ def _run_comparison() -> dict:
 
 def test_pipeline_speedup(benchmark):
     report = run_once(benchmark, _run_comparison)
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_bench_json(BENCH_PATH, report)
 
     rows = [
         [

@@ -21,10 +21,9 @@ table).
 
 from __future__ import annotations
 
-import json
 import time
 
-from support import RESULTS_DIR, emit, run_once
+from support import RESULTS_DIR, emit, run_once, write_bench_json
 
 from repro.core.reducer import TraceReducer
 from repro.evaluation.runner import PreparedWorkload, result_from_reduced
@@ -101,7 +100,7 @@ def _run_comparison() -> dict:
 
 def test_sweep_speedup(benchmark):
     report = run_once(benchmark, _run_comparison)
-    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_bench_json(BENCH_PATH, report)
 
     rows = [
         [

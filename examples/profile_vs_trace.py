@@ -9,9 +9,15 @@ example builds two benchmarks with *different* root causes but near-identical
 profiles and shows that only the trace-based wait-state analysis separates
 them — which is exactly why the reduced trace must retain those wait states.
 
+The example's own phases (simulate / profile / analyze) are timed with
+``repro.obs`` spans rather than hand-rolled ``time.perf_counter`` pairs, and a
+per-phase summary is printed at the end — the same telemetry the engine emits
+under ``repro-trace pipeline --telemetry``.
+
 Run with:  python examples/profile_vs_trace.py
 """
 
+from repro import obs
 from repro.analysis import analyze, severity_chart
 from repro.analysis.patterns import LATE_RECEIVER, LATE_SENDER
 from repro.analysis.profile import flat_profile
@@ -19,31 +25,41 @@ from repro.benchmarks_ats import late_receiver, late_sender
 
 
 def main() -> None:
-    sender_late = late_sender(nprocs=8, iterations=30, severity=500.0, seed=17)
-    receiver_late = late_receiver(nprocs=8, iterations=30, severity=500.0, seed=17)
+    with obs.recording("profile_vs_trace") as recorder:
+        sender_late = late_sender(nprocs=8, iterations=30, severity=500.0, seed=17)
+        receiver_late = late_receiver(nprocs=8, iterations=30, severity=500.0, seed=17)
 
-    traces = {w.name: w.run_segmented() for w in (sender_late, receiver_late)}
+        with obs.span("example.simulate", workloads=2):
+            traces = {w.name: w.run_segmented() for w in (sender_late, receiver_late)}
 
-    print("1) What a profiler sees\n")
-    for name, trace in traces.items():
-        profile = flat_profile(trace)
-        print(profile.as_table())
-        print(f"   time in MPI: {100 * profile.mpi_fraction():.1f} % of total\n")
-    print(
-        "Both programs spend a similar share of their time in MPI point-to-point calls;\n"
-        "the profile offers no way to tell which side is at fault.\n"
-    )
+        print("1) What a profiler sees\n")
+        for name, trace in traces.items():
+            with obs.span("example.profile", workload=name):
+                profile = flat_profile(trace)
+            print(profile.as_table())
+            print(f"   time in MPI: {100 * profile.mpi_fraction():.1f} % of total\n")
+        print(
+            "Both programs spend a similar share of their time in MPI point-to-point calls;\n"
+            "the profile offers no way to tell which side is at fault.\n"
+        )
 
-    print("2) What the trace-based wait-state analysis sees\n")
-    entries = [(LATE_SENDER, "MPI_Recv"), (LATE_RECEIVER, "MPI_Ssend")]
-    for name, trace in traces.items():
-        print(severity_chart(analyze(trace), entries, title=f"{name}: wait-state diagnosis"))
-        print()
-    print(
-        "The trace pins the blame: the late_sender run shows Late Sender waits at the\n"
-        "receivers, the late_receiver run shows Late Receiver waits at the (synchronous)\n"
-        "senders — the distinction the paper's reduced traces must preserve."
-    )
+        print("2) What the trace-based wait-state analysis sees\n")
+        entries = [(LATE_SENDER, "MPI_Recv"), (LATE_RECEIVER, "MPI_Ssend")]
+        for name, trace in traces.items():
+            with obs.span("example.analyze", workload=name):
+                chart = severity_chart(
+                    analyze(trace), entries, title=f"{name}: wait-state diagnosis"
+                )
+            print(chart)
+            print()
+        print(
+            "The trace pins the blame: the late_sender run shows Late Sender waits at the\n"
+            "receivers, the late_receiver run shows Late Receiver waits at the (synchronous)\n"
+            "senders — the distinction the paper's reduced traces must preserve."
+        )
+
+    print("\n3) Where this example's own time went (repro.obs spans)\n")
+    print(obs.run_report(obs.chrome_trace_payload(recorder)))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,8 @@ pipeline without writing any Python:
   per-config criteria and vector-sharing stats); ``--trace FILE`` sweeps a
   trace file instead, with ``.rpb`` grids fanned out as (rank × family)
   pool tasks
+* ``repro-trace report <telemetry.json>``    — render a telemetry file recorded
+  with ``--telemetry`` (per-stage/per-worker tables, hottest spans)
 
 All commands accept ``--scale {smoke,default,paper}`` (default: the
 ``REPRO_SCALE`` environment variable, falling back to ``default``).
@@ -29,6 +31,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.metrics import METRIC_NAMES, THRESHOLD_STUDY, create_metric
 from repro.core.reducer import TraceReducer
 from repro.experiments.comparative import (
@@ -176,6 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--output", default=None, help="stream the reduced trace to this file"
     )
+    pipeline.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.json",
+        default=None,
+        metavar="PATH",
+        help="record spans/metrics and export a Chrome trace_event timeline "
+        "to PATH (default: telemetry.json); view with Perfetto or "
+        "'repro-trace report PATH'",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -241,6 +254,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the grid and sharing stats as JSON instead of tables",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.json",
+        default=None,
+        metavar="PATH",
+        help="record spans/metrics and export a Chrome trace_event timeline "
+        "to PATH (default: telemetry.json)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a recorded telemetry file (per-stage/per-worker tables, hottest spans)",
+    )
+    report.add_argument("file", help="telemetry JSON written by --telemetry")
+    report.add_argument(
+        "--top", type=int, default=10, help="number of hottest spans to list (default: 10)"
     )
 
     convert = sub.add_parser(
@@ -351,7 +382,33 @@ def _cmd_pipeline(args, scale) -> str:
         source = segmented
         rows_head = [["workload", args.workload]]
         full_bytes = full_trace_bytes(segmented)
-    result = ReductionPipeline(metric, config).reduce(source)
+    pipeline_runner = ReductionPipeline(metric, config)
+    telemetry_row = None
+    if args.telemetry is not None:
+        with obs.recording("pipeline") as recorder:
+            result = pipeline_runner.reduce(source)
+        payload = obs.write_chrome_trace(
+            recorder,
+            args.telemetry,
+            metadata={
+                "command": "pipeline",
+                "subject": args.workload if args.trace is None else args.trace,
+                "method": metric.describe(),
+                "executor": result.stats.executor,
+                "dispatch": result.stats.dispatch,
+                "workers": result.stats.workers,
+            },
+        )
+        n_events = sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")
+        n_tracks = len(
+            {(e["pid"], e["tid"]) for e in payload["traceEvents"] if e.get("ph") == "X"}
+        )
+        telemetry_row = [
+            "telemetry written to",
+            f"{args.telemetry} ({n_events} spans, {n_tracks} tracks)",
+        ]
+    else:
+        result = pipeline_runner.reduce(source)
 
     reduced_bytes = result.reduced.size_bytes()
     rows = [
@@ -372,6 +429,8 @@ def _cmd_pipeline(args, scale) -> str:
         )
     if result.merged is not None:
         rows.append(["merged trace bytes", result.merged.size_bytes()])
+    if telemetry_row is not None:
+        rows.append(telemetry_row)
     identical = True
     if args.verify:
         if segmented is None:
@@ -437,16 +496,46 @@ def _cmd_sweep(args, scale) -> str:
         source = prepared.segmented
         subject = f"{args.workload} (scale={scale.name})"
 
-    if args.backend == "serial":
-        from repro.evaluation.runner import evaluate_grid
+    from contextlib import nullcontext
 
-        results = evaluate_grid(
-            prepared, plan, keep_comparison=False, backend="serial"
+    recording = obs.recording("sweep") if args.telemetry is not None else nullcontext()
+    with recording as recorder:
+        if args.backend == "serial":
+            from repro.evaluation.runner import evaluate_grid
+
+            results = evaluate_grid(
+                prepared, plan, keep_comparison=False, backend="serial"
+            )
+            sweep_result = None
+        else:
+            sweep_result = sweep_pipeline(source, plan, config, name=prepared.name)
+            results = sweep_result.evaluation_results(prepared)
+
+    telemetry_note = None
+    if args.telemetry is not None:
+        telemetry_payload = obs.write_chrome_trace(
+            recorder,
+            args.telemetry,
+            metadata={
+                "command": "sweep",
+                "subject": subject,
+                "backend": args.backend,
+                "configs": plan.n_configs,
+                "dispatch": sweep_result.stats.dispatch if sweep_result is not None else "serial",
+                "workers": config.workers,
+            },
         )
-        sweep_result = None
-    else:
-        sweep_result = sweep_pipeline(source, plan, config, name=prepared.name)
-        results = sweep_result.evaluation_results(prepared)
+        n_events = sum(
+            1 for e in telemetry_payload["traceEvents"] if e.get("ph") == "X"
+        )
+        n_tracks = len(
+            {
+                (e["pid"], e["tid"])
+                for e in telemetry_payload["traceEvents"]
+                if e.get("ph") == "X"
+            }
+        )
+        telemetry_note = f"{args.telemetry} ({n_events} spans, {n_tracks} tracks)"
 
     identical = True
     if args.verify and sweep_result is not None:
@@ -497,6 +586,8 @@ def _cmd_sweep(args, scale) -> str:
             }
         if args.verify:
             payload["matches_serial_oracle"] = identical
+        if telemetry_note is not None:
+            payload["telemetry"] = telemetry_note
         report = json.dumps(payload, indent=2)
     else:
         grid_rows = [
@@ -525,11 +616,25 @@ def _cmd_sweep(args, scale) -> str:
             report += "\n\n" + format_table(
                 ["property", "value"], stats_rows, title="shared-ingest stats"
             )
+        if telemetry_note is not None:
+            report += f"\n\ntelemetry written to {telemetry_note}"
     if not identical:
         raise _VerificationFailed(
             report, "sweep output does not match the serial reducer oracle"
         )
     return report
+
+
+def _cmd_report(args) -> str:
+    from pathlib import Path
+
+    path = Path(args.file)
+    if not path.exists():
+        raise _UsageError(f"telemetry file {path} does not exist")
+    try:
+        return obs.render_report(path, top=args.top)
+    except (ValueError, KeyError) as error:
+        raise _UsageError(f"{path} is not a telemetry export: {error}") from error
 
 
 def _cmd_convert(args) -> str:
@@ -611,6 +716,8 @@ def _dispatch(args, scale, parser) -> str:
         output = _cmd_pipeline(args, scale)
     elif args.command == "sweep":
         output = _cmd_sweep(args, scale)
+    elif args.command == "report":
+        output = _cmd_report(args)
     elif args.command == "convert":
         output = _cmd_convert(args)
     else:  # pragma: no cover - argparse enforces the choices

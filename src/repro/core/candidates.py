@@ -72,6 +72,16 @@ class MatchCounters:
         """Mean candidate-list depth seen by the kernel."""
         return self.rows_compared / self.calls if self.calls else 0.0
 
+    def record_to(self, registry) -> None:
+        """Record these counters into an ``obs`` metrics registry.
+
+        The registry is a parameter (rather than an import) so the core stays
+        telemetry-agnostic; callers pick run-global or worker-local capture.
+        """
+        registry.inc("match.kernel_calls", self.calls)
+        registry.inc("match.kernel_rows", self.rows_compared)
+        registry.inc("match.kernel_seconds", self.seconds)
+
 
 class CandidateList:
     """Ordered stored-representative bucket with a contiguous row matrix.

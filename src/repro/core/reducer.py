@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional, Protocol, Sequence, Tuple
 
+from repro import obs
 from repro.core.candidates import CandidateList, MatchCounters
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
@@ -190,11 +191,14 @@ class TraceReducer:
         )
         for rank, segments in streams:
             store = store_factory() if store_factory is not None else None
-            reduced.ranks.append(
-                self.reduce_segments(
-                    segments, rank=rank, store=store, match_counters=match_counters
+            # Span per rank, not per segment: the segment loop is the match
+            # kernel's hot path and must stay telemetry-free.
+            with obs.span("rank.reduce", rank=rank):
+                reduced.ranks.append(
+                    self.reduce_segments(
+                        segments, rank=rank, store=store, match_counters=match_counters
+                    )
                 )
-            )
         return reduced
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro import obs
 from repro.analysis.compare import ComparisonOptions, TrendComparison
 from repro.analysis.expert import analyze
 from repro.analysis.report import DiagnosisReport
@@ -140,10 +141,12 @@ def evaluate_method(
     if backend == "serial":
         if pipeline_source is not None:
             raise ValueError("pipeline_source requires backend='pipeline'")
-        reduced: ReducedTrace = TraceReducer(metric).reduce(prepared.segmented)
+        with obs.span("evaluate.reduce", method=metric.name, backend=backend):
+            reduced: ReducedTrace = TraceReducer(metric).reduce(prepared.segmented)
     elif backend == "pipeline":
         source = prepared.segmented if pipeline_source is None else pipeline_source
-        reduced = ReductionPipeline(metric, pipeline_config).reduce(source).reduced
+        with obs.span("evaluate.reduce", method=metric.name, backend=backend):
+            reduced = ReductionPipeline(metric, pipeline_config).reduce(source).reduced
     else:
         raise ValueError(f"backend must be 'serial' or 'pipeline', got {backend!r}")
     return result_from_reduced(
@@ -167,16 +170,17 @@ def result_from_reduced(
     the sweep engine calls it per grid config, so a sweep row and a serial
     row are produced by the same code.
     """
-    reconstructed = reconstruct(reduced)
-    reduced_bytes = reduced.size_bytes()
-    pct = 100.0 * reduced_bytes / prepared.full_bytes if prepared.full_bytes else 100.0
-    distance = approximation_distance(prepared.segmented, reconstructed)
-    comparison = retains_trends(
-        prepared.segmented,
-        reconstructed,
-        full_report=prepared.full_report,
-        options=comparison_options,
-    )
+    with obs.span("evaluate.criteria", method=reduced.method):
+        reconstructed = reconstruct(reduced)
+        reduced_bytes = reduced.size_bytes()
+        pct = 100.0 * reduced_bytes / prepared.full_bytes if prepared.full_bytes else 100.0
+        distance = approximation_distance(prepared.segmented, reconstructed)
+        comparison = retains_trends(
+            prepared.segmented,
+            reconstructed,
+            full_report=prepared.full_report,
+            options=comparison_options,
+        )
     return EvaluationResult(
         workload=prepared.name,
         method=reduced.method,

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 import time
 from pathlib import Path
@@ -54,6 +55,7 @@ from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, T
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.candidates import MatchCounters
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace
@@ -136,24 +138,71 @@ class PipelineResult:
     merged: Optional[MergedReducedTrace] = None
 
 
-def _reduce_rank_task(
+#: What every rank task returns: the reduced rank, its store and match
+#: counters, and — in telemetry capture mode — the worker's recorder snapshot
+#: (``None`` otherwise), piggybacked so no extra IPC round-trip is needed.
+RankTaskResult = tuple[
+    ReducedRankTrace, StoreCounters, MatchCounters, Optional[obs.RecorderSnapshot]
+]
+
+
+def _record_rank_metrics(
+    registry: obs.MetricsRegistry,
+    reduced: ReducedRankTrace,
+    store_counters: StoreCounters,
+    match_counters: MatchCounters,
+) -> None:
+    """Fill a worker-local registry with one rank's per-task metrics.
+
+    Only called in capture mode: the parent keeps per-worker registries
+    separate from the run totals (recorded once from the final stats), so
+    nothing is ever double-counted.
+    """
+    registry.inc("ingest.segments", reduced.n_segments)
+    registry.inc("reduce.stored", len(reduced.stored))
+    registry.inc("reduce.matches", reduced.n_matches)
+    store_counters.record_to(registry)
+    match_counters.record_to(registry)
+
+
+def _reduce_rank_inner(
     metric: SimilarityMetric,
     rank: int,
     segments,
     store_capacity: Optional[int],
 ) -> tuple[ReducedRankTrace, StoreCounters, MatchCounters]:
+    store = create_store(store_capacity)
+    match_counters = MatchCounters()
+    with obs.span("rank.reduce", rank=rank):
+        reduced = TraceReducer(metric).reduce_segments(
+            segments, rank=rank, store=store, match_counters=match_counters
+        )
+    return reduced, store.counters, match_counters
+
+
+def _reduce_rank_task(
+    metric: SimilarityMetric,
+    rank: int,
+    segments,
+    store_capacity: Optional[int],
+    capture: bool = False,
+) -> RankTaskResult:
     """One worker task: reduce a single rank with its own store.
 
     Module-level so process pools can pickle it; the pickled ``metric`` gives
     every rank a private metric instance, mirroring serial semantics (metrics
-    hold no cross-rank state).
+    hold no cross-rank state).  With ``capture=True`` the task records its
+    spans/metrics into a private recorder — shadowing any (orphaned,
+    fork-inherited or thread-shared) ambient recorder — and returns the
+    snapshot as the fourth element.
     """
-    store = create_store(store_capacity)
-    match_counters = MatchCounters()
-    reduced = TraceReducer(metric).reduce_segments(
-        segments, rank=rank, store=store, match_counters=match_counters
-    )
-    return reduced, store.counters, match_counters
+    if not capture:
+        return (*_reduce_rank_inner(metric, rank, segments, store_capacity), None)
+    recorder = obs.Recorder(label="worker")
+    with obs.local_recording(recorder):
+        result = _reduce_rank_inner(metric, rank, segments, store_capacity)
+    _record_rank_metrics(recorder.registry, *result)
+    return (*result, recorder.snapshot())
 
 
 def _reduce_shard_task(
@@ -161,17 +210,30 @@ def _reduce_shard_task(
     path: str,
     rank: int,
     store_capacity: Optional[int],
-) -> tuple[ReducedRankTrace, StoreCounters, MatchCounters]:
+    capture: bool = False,
+) -> RankTaskResult:
     """One worker task for indexed file sources: a ``(path, rank)`` shard.
 
     The task payload is just the file path and a rank id; the worker opens
     the file itself, seeks to the rank's byte range, and decodes only that
     rank — no rank data crosses the pickle boundary in either direction
     except the (much smaller) reduced result.
+
+    In capture mode the rank is materialized under a ``shard.decode`` span
+    before reducing, so the exported timeline separates decode from match
+    time per shard — one rank's segment list at a time is bounded memory.
     """
-    return _reduce_rank_task(
-        metric, rank, shard_segment_stream(path, rank), store_capacity
-    )
+    if not capture:
+        return _reduce_rank_task(
+            metric, rank, shard_segment_stream(path, rank), store_capacity
+        )
+    recorder = obs.Recorder(label="worker")
+    with obs.local_recording(recorder):
+        with obs.span("shard.decode", rank=rank):
+            segments = list(shard_segment_stream(path, rank))
+        result = _reduce_rank_inner(metric, rank, segments, store_capacity)
+    _record_rank_metrics(recorder.registry, *result)
+    return (*result, recorder.snapshot())
 
 
 #: In-memory trace inherited by fork()ed workers (set around pool creation).
@@ -187,7 +249,8 @@ def _reduce_fork_task(
     metric: SimilarityMetric,
     position: int,
     store_capacity: Optional[int],
-) -> tuple[ReducedRankTrace, StoreCounters]:
+    capture: bool = False,
+) -> RankTaskResult:
     """Worker task for the fork-shared path: look the rank up by index.
 
     For a raw :class:`Trace` source the worker also does the segmentation, so
@@ -198,7 +261,7 @@ def _reduce_fork_task(
         segments = rank_trace.segments
     else:
         segments = iter_segments(rank_trace.records)
-    return _reduce_rank_task(metric, rank_trace.rank, segments, store_capacity)
+    return _reduce_rank_task(metric, rank_trace.rank, segments, store_capacity, capture)
 
 
 def _fork_available() -> bool:
@@ -241,41 +304,54 @@ class ReductionPipeline:
             # files reveal their rank count in the footer; forward-only text
             # files don't, so a 1-rank text file still goes through the pool.)
             executor = "serial"
-        stats = PipelineStats(
-            executor=executor, workers=workers, requested_executor=config.executor
-        )
-        started = time.perf_counter()
-
+        # Dispatch mode is a function of the executor and source alone, so it
+        # is decided up front and the stats carry it from construction — the
+        # telemetry attribute is never an empty string, even mid-run.
         if executor == "serial":
-            stats.dispatch = "inline"
-            ranks = self._reduce_serial(rank_segment_streams(source), stats)
+            dispatch = "inline"
         elif shard_ranks is not None:
-            stats.dispatch = "shard"
-            ranks = self._reduce_sharded(Path(source), shard_ranks, stats)
+            dispatch = "shard"
         elif (
             executor == "process"
             and isinstance(source, (SegmentedTrace, Trace))
             and _fork_available()
         ):
-            stats.dispatch = "fork"
-            ranks = self._reduce_forked(source, stats)
+            dispatch = "fork"
         else:
-            stats.dispatch = "payload"
-            ranks = self._reduce_pooled(rank_segment_streams(source), stats)
-
-        reduced = ReducedTrace(
-            name=name or source_name(source),
-            method=self.metric.name,
-            threshold=self.metric.threshold,
-            ranks=ranks,
+            dispatch = "payload"
+        stats = PipelineStats(
+            executor=executor,
+            workers=workers,
+            requested_executor=config.executor,
+            dispatch=dispatch,
         )
+        started = time.perf_counter()
 
-        merged: Optional[MergedReducedTrace] = None
-        if config.merge:
-            with time_stage(stats, "merge"):
-                merged = merge_reduced_trace(reduced)
-            stats.merged_stored = merged.n_stored
-            stats.merged_duplicates = merged.n_duplicates
+        with obs.span(
+            "pipeline.run", executor=executor, dispatch=dispatch, workers=workers
+        ):
+            if dispatch == "inline":
+                ranks = self._reduce_serial(rank_segment_streams(source), stats)
+            elif dispatch == "shard":
+                ranks = self._reduce_sharded(Path(source), shard_ranks, stats)
+            elif dispatch == "fork":
+                ranks = self._reduce_forked(source, stats)
+            else:
+                ranks = self._reduce_pooled(rank_segment_streams(source), stats)
+
+            reduced = ReducedTrace(
+                name=name or source_name(source),
+                method=self.metric.name,
+                threshold=self.metric.threshold,
+                ranks=ranks,
+            )
+
+            merged: Optional[MergedReducedTrace] = None
+            if config.merge:
+                with time_stage(stats, "merge"), obs.span("pipeline.merge"):
+                    merged = merge_reduced_trace(reduced)
+                stats.merged_stored = merged.n_stored
+                stats.merged_duplicates = merged.n_duplicates
 
         stats.nprocs = reduced.nprocs
         stats.n_segments = reduced.n_segments
@@ -283,22 +359,42 @@ class ReductionPipeline:
         stats.n_matches = reduced.n_matches
         stats.n_possible_matches = reduced.n_possible_matches
         stats.total_seconds = time.perf_counter() - started
+        recorder = obs.current_recorder()
+        if recorder is not None:
+            stats.record_to(recorder.registry)
         return PipelineResult(reduced=reduced, stats=stats, merged=merged)
 
     # -- executor strategies ---------------------------------------------------
 
     def _reduce_serial(self, streams, stats: PipelineStats) -> list[ReducedRankTrace]:
-        """Feed each rank's stream straight into the reducer (bounded memory)."""
+        """Feed each rank's stream straight into the reducer (bounded memory).
+
+        Runs in the caller's process, so task spans land directly on the
+        ambient recorder — no capture/snapshot round-trip is needed.
+        """
         ranks: list[ReducedRankTrace] = []
         with time_stage(stats, "reduce"):
             for rank, segments in streams:
-                reduced_rank, counters, match_counters = _reduce_rank_task(
+                reduced_rank, counters, match_counters, _ = _reduce_rank_task(
                     self.metric, rank, segments, self.config.store_capacity
                 )
                 ranks.append(reduced_rank)
                 stats.store = stats.store.merged_with(counters)
                 stats.match = stats.match.merged_with(match_counters)
         return ranks
+
+    @staticmethod
+    def _collect(
+        results, stats: PipelineStats, ranks: list[ReducedRankTrace]
+    ) -> None:
+        """Fold ordered task results into ``stats``, absorbing any snapshots."""
+        recorder = obs.current_recorder()
+        for reduced_rank, counters, match_counters, snapshot in results:
+            ranks.append(reduced_rank)
+            stats.store = stats.store.merged_with(counters)
+            stats.match = stats.match.merged_with(match_counters)
+            if recorder is not None:
+                recorder.absorb(snapshot)
 
     def _reduce_forked(
         self, source: SegmentedTrace | Trace, stats: PipelineStats
@@ -314,7 +410,8 @@ class ReductionPipeline:
         global _FORK_SOURCE
         config = self.config
         workers = min(config.resolved_workers(), max(1, len(source.ranks)))
-        results: list[tuple[ReducedRankTrace, StoreCounters, MatchCounters]] = []
+        capture = obs.enabled()
+        results: list[RankTaskResult] = []
         with _FORK_LOCK:
             _FORK_SOURCE = source
             try:
@@ -323,7 +420,8 @@ class ReductionPipeline:
                     with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
                         futures = [
                             pool.submit(
-                                _reduce_fork_task, self.metric, position, config.store_capacity
+                                _reduce_fork_task, self.metric, position,
+                                config.store_capacity, capture,
                             )
                             for position in range(len(source.ranks))
                         ]
@@ -332,10 +430,7 @@ class ReductionPipeline:
                 _FORK_SOURCE = None
 
         ranks: list[ReducedRankTrace] = []
-        for reduced_rank, counters, match_counters in results:
-            ranks.append(reduced_rank)
-            stats.store = stats.store.merged_with(counters)
-            stats.match = stats.match.merged_with(match_counters)
+        self._collect(results, stats, ranks)
         return ranks
 
     def _reduce_sharded(
@@ -350,22 +445,20 @@ class ReductionPipeline:
         """
         config = self.config
         workers = min(config.resolved_workers(), max(1, len(shard_ranks)))
+        capture = obs.enabled()
         with self._make_executor(workers) as pool:
             with time_stage(stats, "reduce"):
                 futures = [
                     pool.submit(
                         _reduce_shard_task, self.metric, str(path), rank,
-                        config.store_capacity,
+                        config.store_capacity, capture,
                     )
                     for rank in shard_ranks
                 ]
                 results = [future.result() for future in futures]
 
         ranks: list[ReducedRankTrace] = []
-        for reduced_rank, counters, match_counters in results:
-            ranks.append(reduced_rank)
-            stats.store = stats.store.merged_with(counters)
-            stats.match = stats.match.merged_with(match_counters)
+        self._collect(results, stats, ranks)
         return ranks
 
     def _reduce_pooled(self, streams, stats: PipelineStats) -> list[ReducedRankTrace]:
@@ -373,7 +466,8 @@ class ReductionPipeline:
         config = self.config
         workers = config.resolved_workers()
         window = config.max_pending or 2 * workers
-        results: dict[int, tuple[ReducedRankTrace, StoreCounters, MatchCounters]] = {}
+        capture = obs.enabled()
+        results: dict[int, RankTaskResult] = {}
         pending: dict = {}
 
         def drain(return_when: str) -> None:
@@ -388,10 +482,21 @@ class ReductionPipeline:
                     n_streams += 1
                     # Pooled tasks need the rank's segments materialized for
                     # submission; the window bounds how many exist at once.
-                    with time_stage(stats, "ingest"):
+                    with time_stage(stats, "ingest"), obs.span(
+                        "dispatch.materialize", rank=rank
+                    ):
                         payload = segments if isinstance(segments, list) else list(segments)
+                    if capture:
+                        # The serialized task size is the cost this dispatch
+                        # mode pays per rank; measuring it re-pickles, so the
+                        # histogram is only fed when telemetry is on.
+                        obs.observe(
+                            "dispatch.payload_bytes",
+                            len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)),
+                        )
                     future = pool.submit(
-                        _reduce_rank_task, self.metric, rank, payload, config.store_capacity
+                        _reduce_rank_task, self.metric, rank, payload,
+                        config.store_capacity, capture,
                     )
                     pending[future] = position
                     while len(pending) >= window:
@@ -404,11 +509,9 @@ class ReductionPipeline:
             stats.stage_seconds["reduce"] -= stats.stage_seconds["ingest"]
 
         ranks: list[ReducedRankTrace] = []
-        for position in range(n_streams):
-            reduced_rank, counters, match_counters = results[position]
-            ranks.append(reduced_rank)
-            stats.store = stats.store.merged_with(counters)
-            stats.match = stats.match.merged_with(match_counters)
+        self._collect(
+            (results[position] for position in range(n_streams)), stats, ranks
+        )
         return ranks
 
     def _make_executor(self, workers: int) -> Executor:
@@ -487,34 +590,43 @@ def sweep_pipeline(
     ]
     n_tasks = len(shard_ranks) * len(groups)
     workers = min(workers, max(1, n_tasks))
+    capture = obs.enabled()
     if config.executor == "thread":
         pool_cls, pool_kwargs = ThreadPoolExecutor, {}
     else:
         pool_cls, pool_kwargs = ProcessPoolExecutor, {}
     results: dict[tuple[int, int], object] = {}
-    with pool_cls(max_workers=workers, **pool_kwargs) as pool:
-        futures = {
-            pool.submit(
-                _sweep_shard_task,
-                group,
-                path,
-                rank,
-                config.store_capacity,
-                instrument,
-            ): (rank_index, group_index)
-            for rank_index, rank in enumerate(shard_ranks)
-            for group_index, group in enumerate(groups)
-        }
-        for future, position in futures.items():
-            results[position] = future.result()
+    with obs.span(
+        "sweep.run", dispatch="shard", configs=plan.n_configs, workers=workers
+    ):
+        with pool_cls(max_workers=workers, **pool_kwargs) as pool:
+            futures = {
+                pool.submit(
+                    _sweep_shard_task,
+                    group,
+                    path,
+                    rank,
+                    config.store_capacity,
+                    instrument,
+                    capture,
+                ): (rank_index, group_index)
+                for rank_index, rank in enumerate(shard_ranks)
+                for group_index, group in enumerate(groups)
+            }
+            for future, position in futures.items():
+                results[position] = future.result()
 
-    rank_sweeps = [
-        merge_rank_groups(
-            [results[(rank_index, group_index)] for group_index in range(len(groups))]
+        recorder = obs.current_recorder()
+        if recorder is not None:
+            for part in results.values():
+                recorder.absorb(part.snapshot)
+        rank_sweeps = [
+            merge_rank_groups(
+                [results[(rank_index, group_index)] for group_index in range(len(groups))]
+            )
+            for rank_index in range(len(shard_ranks))
+        ]
+        result = engine._assemble(
+            name or source_name(source), rank_sweeps, started, dispatch="shard"
         )
-        for rank_index in range(len(shard_ranks))
-    ]
-    result = engine._assemble(
-        name or source_name(source), rank_sweeps, started, dispatch="shard"
-    )
     return result

@@ -46,6 +46,15 @@ class PipelineStats:
     #: in-memory trace), or ``payload`` (pickled segment lists).
     dispatch: str = ""
 
+    def __post_init__(self) -> None:
+        # Telemetry attributes must never be empty strings: a plain serial
+        # run requested exactly what it got, and serial work is by definition
+        # dispatched inline.
+        if not self.requested_executor:
+            self.requested_executor = self.executor
+        if not self.dispatch and self.executor == "serial":
+            self.dispatch = "inline"
+
     @property
     def match_rate(self) -> float:
         """Matches / possible matches (the degree-of-matching criterion)."""
@@ -92,6 +101,28 @@ class PipelineStats:
         rows.append(["total wall time (s)", f"{self.total_seconds:.4f}"])
         rows.append(["segments / second", f"{self.segments_per_second:,.0f}"])
         return rows
+
+    def record_to(self, registry) -> None:
+        """Record this run's totals into an ``obs`` metrics registry.
+
+        Called once per run by the engine, so the registry holds the same
+        totals ``rows()`` renders — the stats object becomes a view over the
+        run's metrics rather than a competing source of truth.
+        """
+        registry.set_gauge("pipeline.workers", self.workers)
+        registry.set_gauge("pipeline.ranks", self.nprocs)
+        registry.inc("pipeline.segments", self.n_segments)
+        registry.inc("pipeline.stored", self.n_stored)
+        registry.inc("pipeline.matches", self.n_matches)
+        registry.inc("pipeline.possible_matches", self.n_possible_matches)
+        if self.merged_stored or self.merged_duplicates:
+            registry.inc("merge.stored", self.merged_stored)
+            registry.inc("merge.duplicates", self.merged_duplicates)
+        for stage, seconds in self.stage_seconds.items():
+            registry.inc(f"stage.{stage}.seconds", seconds)
+        registry.inc("pipeline.total_seconds", self.total_seconds)
+        self.store.record_to(registry)
+        self.match.record_to(registry)
 
 
 @contextmanager

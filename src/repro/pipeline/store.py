@@ -59,6 +59,18 @@ class StoreCounters:
         """Hits / lookups; 1.0 when nothing was looked up."""
         return self.hits / self.lookups if self.lookups else 1.0
 
+    def record_to(self, registry) -> None:
+        """Record these counters into an ``obs`` metrics registry.
+
+        Takes the registry as a parameter so this module stays free of any
+        telemetry import — callers pick the registry (run-global or a
+        worker-local capture).
+        """
+        registry.inc("store.lookups", self.lookups)
+        registry.inc("store.hits", self.hits)
+        registry.inc("store.misses", self.misses)
+        registry.inc("store.evictions", self.evictions)
+
 
 class RepresentativeStore:
     """Interface the reducer talks to instead of its inline dictionary.

@@ -33,6 +33,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.candidates import CandidateList, MatchCounters, first_match_index
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
@@ -93,6 +94,16 @@ class SweepStats:
             ["vector sharing factor", f"{self.sharing_factor:.2f}x"],
             ["sweep wall time (s)", f"{self.total_seconds:.4f}"],
         ]
+
+    def record_to(self, registry) -> None:
+        """Record this sweep's totals into an ``obs`` metrics registry."""
+        registry.set_gauge("sweep.configs", self.n_configs)
+        registry.set_gauge("sweep.families", self.n_families)
+        registry.set_gauge("sweep.ranks", self.n_ranks)
+        registry.inc("sweep.segments", self.n_segments)
+        registry.inc("sweep.vector_builds", self.vector_builds)
+        registry.inc("sweep.vector_builds_naive", self.vector_builds_naive)
+        registry.inc("sweep.total_seconds", self.total_seconds)
 
 
 class _InternedKey:
@@ -173,6 +184,8 @@ class _RankSweep:
     n_segments: int = 0
     vector_builds: int = 0
     vector_builds_naive: int = 0
+    #: Worker telemetry snapshot when the task ran in capture mode.
+    snapshot: Optional[obs.RecorderSnapshot] = None
 
 
 def merge_rank_groups(parts: list[_RankSweep]) -> _RankSweep:
@@ -203,16 +216,29 @@ def _sweep_shard_task(
     rank: int,
     store_capacity: Optional[int],
     instrument: bool,
+    capture: bool = False,
 ) -> _RankSweep:
     """One pool task of a sharded sweep: (rank shard × config group).
 
     The payload is just a file path, a rank id, and (method, threshold)
     pairs; the worker opens the indexed file, decodes only the rank's byte
-    range, and runs the group's configs over it in one shared pass.
+    range, and runs the group's configs over it in one shared pass.  With
+    ``capture=True`` the task records into a private recorder and ships the
+    snapshot back on the result.
     """
     plan = SweepPlan([SweepConfig(method, threshold) for method, threshold in specs])
     engine = SweepEngine(plan, store_capacity=store_capacity, instrument=instrument)
-    return engine.sweep_rank(rank, shard_segment_stream(path, rank))
+    if not capture:
+        return engine.sweep_rank(rank, shard_segment_stream(path, rank))
+    recorder = obs.Recorder(label="worker")
+    with obs.local_recording(recorder):
+        result = engine.sweep_rank(rank, shard_segment_stream(path, rank))
+    registry = recorder.registry
+    registry.inc("ingest.segments", result.n_segments)
+    registry.inc("sweep.vector_builds", result.vector_builds)
+    registry.inc("sweep.vector_builds_naive", result.vector_builds_naive)
+    result.snapshot = recorder.snapshot()
+    return result
 
 
 class SweepEngine:
@@ -242,6 +268,10 @@ class SweepEngine:
 
     def sweep_rank(self, rank: int, segments: Iterable[Segment]) -> _RankSweep:
         """Run every config of the plan over one rank's segment stream."""
+        with obs.span("sweep.rank", rank=rank, configs=self.plan.n_configs):
+            return self._sweep_rank(rank, segments)
+
+    def _sweep_rank(self, rank: int, segments: Iterable[Segment]) -> _RankSweep:
         instrument = self.instrument
         capacity = self.store_capacity
         # Per family: the vector key plus the member states grouped by metric
@@ -445,11 +475,12 @@ class SweepEngine:
         """One shared pass over every rank of ``source``, for the whole grid."""
         started = time.perf_counter()
         name = name or source_name(source)
-        rank_sweeps = [
-            self.sweep_rank(rank, segments)
-            for rank, segments in rank_segment_streams(source)
-        ]
-        return self._assemble(name, rank_sweeps, started, dispatch="inline")
+        with obs.span("sweep.run", dispatch="inline", configs=self.plan.n_configs):
+            rank_sweeps = [
+                self.sweep_rank(rank, segments)
+                for rank, segments in rank_segment_streams(source)
+            ]
+            return self._assemble(name, rank_sweeps, started, dispatch="inline")
 
     def _assemble(
         self,
@@ -486,6 +517,9 @@ class SweepEngine:
             total_seconds=time.perf_counter() - started,
             dispatch=dispatch,
         )
+        recorder = obs.current_recorder()
+        if recorder is not None:
+            stats.record_to(recorder.registry)
         return SweepResult(name=name, outcomes=outcomes, stats=stats)
 
 

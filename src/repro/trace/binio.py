@@ -45,6 +45,7 @@ from typing import BinaryIO, Iterable, Iterator, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.trace.events import Event, MpiCallInfo
 from repro.trace.records import RecordKind, TraceRecord
 from repro.trace.segments import Segment, iter_segments
@@ -391,10 +392,11 @@ def _load_columns(handle: BinaryIO, entry: RpbRankEntry, strings: tuple[str, ...
 
 
 def _read_rank_columns(path: Path, rank: int, index: Optional[RpbIndex] = None) -> _RankColumns:
-    index = index or read_index(path)
-    entry = index.entry_for(rank)
-    with path.open("rb") as handle:
-        return _load_columns(handle, entry, index.strings)
+    with obs.span("rpb.decode_columns", rank=rank):
+        index = index or read_index(path)
+        entry = index.entry_for(rank)
+        with path.open("rb") as handle:
+            return _load_columns(handle, entry, index.strings)
 
 
 def _records_from_columns(columns: _RankColumns) -> Iterator[TraceRecord]:
@@ -567,7 +569,11 @@ def iter_rank_record_streams_rpb(
 
 def read_trace_rpb(path: str | Path, name: str | None = None) -> Trace:
     """Read a whole ``.rpb`` trace; ranks must form a contiguous range from 0."""
-    path = Path(path)
+    with obs.span("rpb.read_trace", path=str(path)):
+        return _read_trace_rpb(Path(path), name)
+
+
+def _read_trace_rpb(path: Path, name: str | None) -> Trace:
     index = read_index(path)
     if not index.entries:
         return Trace(name=name or path.stem, ranks=[])

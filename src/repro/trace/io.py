@@ -359,13 +359,16 @@ def write_reduced_trace(reduced: "ReducedTrace", path: str | Path) -> int:
     memory: chunks go straight to the file handle, one stored segment or
     execution entry at a time.
     """
+    from repro import obs
+
     path = Path(path)
     written = 0
-    with path.open("wb") as handle:
-        for rank in reduced.ranks:
-            for chunk in iter_reduced_rank_chunks(rank):
-                handle.write(chunk)
-                written += len(chunk)
+    with obs.span("reduced.write", path=str(path)):
+        with path.open("wb") as handle:
+            for rank in reduced.ranks:
+                for chunk in iter_reduced_rank_chunks(rank):
+                    handle.write(chunk)
+                    written += len(chunk)
     return written
 
 
@@ -375,9 +378,11 @@ def read_trace(path: str | Path, name: str | None = None, format: str | None = N
     ``format`` forces a registered format by name; see
     :mod:`repro.trace.formats`.
     """
+    from repro import obs
     from repro.trace.formats import resolve_format  # deferred: formats imports us
 
-    return resolve_format(path, format).read(Path(path), name)
+    with obs.span("trace.read", path=str(path)):
+        return resolve_format(path, format).read(Path(path), name)
 
 
 def read_trace_text(path: str | Path, name: str | None = None) -> Trace:

@@ -104,6 +104,7 @@ def merge_reduced_trace(reduced: "ReducedTrace") -> MergedReducedTrace:
     modified; counts of merged representatives are accumulated on the global
     copies.
     """
+    from repro import obs
     from repro.core.reduced import StoredSegment
     from repro.trace.io import _TS_FMT
 
@@ -111,29 +112,30 @@ def merge_reduced_trace(reduced: "ReducedTrace") -> MergedReducedTrace:
         name=reduced.name, method=reduced.method, threshold=reduced.threshold
     )
     by_identity: dict[tuple, StoredSegment] = {}
-    for rank_trace in reduced.ranks:
-        local_to_global: dict[int, int] = {}
-        for stored in rank_trace.stored:
-            merged.n_rank_stored += 1
-            segment = stored.segment
-            identity = (
-                segment.structure(),
-                tuple(_TS_FMT.format(value) for value in segment.timestamps()),
-            )
-            existing = by_identity.get(identity)
-            if existing is None:
-                existing = StoredSegment(
-                    segment_id=len(merged.stored), segment=segment, count=stored.count
+    with obs.span("merge.dedupe", ranks=len(reduced.ranks)):
+        for rank_trace in reduced.ranks:
+            local_to_global: dict[int, int] = {}
+            for stored in rank_trace.stored:
+                merged.n_rank_stored += 1
+                segment = stored.segment
+                identity = (
+                    segment.structure(),
+                    tuple(_TS_FMT.format(value) for value in segment.timestamps()),
                 )
-                by_identity[identity] = existing
-                merged.stored.append(existing)
-            else:
-                existing.count += stored.count
-            local_to_global[stored.segment_id] = existing.segment_id
-        merged.rank_execs.append(
-            (
-                rank_trace.rank,
-                [(local_to_global[sid], start) for sid, start in rank_trace.execs],
+                existing = by_identity.get(identity)
+                if existing is None:
+                    existing = StoredSegment(
+                        segment_id=len(merged.stored), segment=segment, count=stored.count
+                    )
+                    by_identity[identity] = existing
+                    merged.stored.append(existing)
+                else:
+                    existing.count += stored.count
+                local_to_global[stored.segment_id] = existing.segment_id
+            merged.rank_execs.append(
+                (
+                    rank_trace.rank,
+                    [(local_to_global[sid], start) for sid, start in rank_trace.execs],
+                )
             )
-        )
     return merged

@@ -1,0 +1,130 @@
+"""Unit tests for the typed metrics registry and its snapshot/merge protocol."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, MetricValue, merge_snapshots
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    registry.inc("ingest.segments", 3)
+    registry.inc("ingest.segments")
+    assert registry.counter("ingest.segments").get() == 4
+
+
+def test_gauge_holds_last_value():
+    registry = MetricsRegistry()
+    registry.set_gauge("pipeline.workers", 4)
+    registry.set_gauge("pipeline.workers", 2)
+    assert registry.gauge("pipeline.workers").get() == 2
+
+
+def test_histogram_summarises_observations():
+    registry = MetricsRegistry()
+    for value in (10, 30, 20):
+        registry.observe("dispatch.payload_bytes", value)
+    histogram = registry.histogram("dispatch.payload_bytes")
+    assert histogram.count == 3
+    assert histogram.total == 60
+    assert histogram.min == 10
+    assert histogram.max == 30
+    assert histogram.mean == pytest.approx(20.0)
+
+
+def test_kind_conflict_raises_type_error():
+    registry = MetricsRegistry()
+    registry.inc("store.lookups")
+    with pytest.raises(TypeError, match="counter"):
+        registry.gauge("store.lookups")
+    with pytest.raises(TypeError):
+        registry.histogram("store.lookups")
+
+
+def test_snapshot_is_name_sorted_and_frozen():
+    registry = MetricsRegistry()
+    registry.inc("z.last")
+    registry.inc("a.first")
+    snapshot = registry.snapshot()
+    assert list(snapshot.values) == ["a.first", "z.last"]
+    with pytest.raises(Exception):
+        snapshot.values = {}
+
+
+def test_merge_is_order_independent():
+    a = MetricsRegistry()
+    a.inc("match.kernel_rows", 5)
+    a.set_gauge("store.size", 7)
+    a.observe("dispatch.payload_bytes", 100)
+
+    b = MetricsRegistry()
+    b.inc("match.kernel_rows", 2)
+    b.set_gauge("store.size", 11)
+    b.observe("dispatch.payload_bytes", 40)
+    b.inc("store.evictions", 1)
+
+    ab = a.snapshot().merged_with(b.snapshot())
+    ba = b.snapshot().merged_with(a.snapshot())
+    assert ab == ba
+    assert ab.scalar("match.kernel_rows") == 7
+    assert ab.get("store.size").value == 11  # gauges merge by max
+    payload_bytes = ab.get("dispatch.payload_bytes")
+    assert (payload_bytes.count, payload_bytes.total) == (2, 140)
+    assert (payload_bytes.min, payload_bytes.max) == (40, 100)
+
+
+def test_merge_snapshots_folds_many():
+    snapshots = []
+    for rank in range(4):
+        registry = MetricsRegistry()
+        registry.inc("ingest.segments", 10 + rank)
+        snapshots.append(registry.snapshot())
+    merged = merge_snapshots(snapshots)
+    assert merged.scalar("ingest.segments") == 10 + 11 + 12 + 13
+    # Reversed order gives the identical snapshot.
+    assert merge_snapshots(reversed(snapshots)) == merged
+
+
+def test_merge_kind_mismatch_raises():
+    counter = MetricValue(kind="counter", value=1)
+    gauge = MetricValue(kind="gauge", value=1)
+    with pytest.raises(ValueError, match="kinds"):
+        counter.merged_with(gauge)
+
+
+def test_registry_merge_snapshot_back_in():
+    worker = MetricsRegistry()
+    worker.inc("reduce.matches", 9)
+    worker.observe("dispatch.payload_bytes", 123)
+
+    parent = MetricsRegistry()
+    parent.inc("reduce.matches", 1)
+    parent.merge_snapshot(worker.snapshot())
+    assert parent.counter("reduce.matches").get() == 10
+    assert parent.histogram("dispatch.payload_bytes").max == 123
+
+
+def test_json_roundtrip_preserves_snapshot():
+    registry = MetricsRegistry()
+    registry.inc("pipeline.segments", 40)
+    registry.set_gauge("pipeline.ranks", 4)
+    registry.observe("dispatch.payload_bytes", 2048)
+    snapshot = registry.snapshot()
+    assert MetricsSnapshot.from_json(snapshot.as_json()) == snapshot
+
+
+def test_snapshot_pickles():
+    registry = MetricsRegistry()
+    registry.inc("ingest.segments", 5)
+    snapshot = registry.snapshot()
+    assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+def test_scalar_defaults_for_missing_names():
+    snapshot = MetricsRegistry().snapshot()
+    assert not snapshot
+    assert snapshot.scalar("absent") == 0
+    assert snapshot.scalar("absent", default=-1) == -1

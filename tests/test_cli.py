@@ -252,3 +252,70 @@ class TestCommands:
         # The known-divergent reduction must not be written.
         assert not target.exists()
         assert "skipped: verification failed" in captured.out
+
+    def test_pipeline_telemetry_export_and_report(self, capsys, tmp_path):
+        saved = tmp_path / "full.rpb"
+        code, _ = run_cli(
+            capsys, "--scale", "smoke", "pipeline", "late_sender",
+            "--executor", "serial", "--save-trace", str(saved),
+        )
+        assert code == 0
+        telemetry = tmp_path / "telemetry.json"
+        code, out = run_cli(
+            capsys, "pipeline", "--trace", str(saved),
+            "--workers", "4", "--telemetry", str(telemetry),
+        )
+        assert code == 0
+        assert "telemetry written to" in out
+        assert telemetry.exists()
+
+        import json
+
+        payload = json.loads(telemetry.read_text())
+        duration_events = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        # The acceptance bar: >= 2 distinct worker tracks and spans covering
+        # >= 95% of the run's wall time.
+        assert len({(e["pid"], e["tid"]) for e in duration_events}) >= 2
+        from repro import obs
+
+        assert obs.span_coverage(payload) >= 0.95
+        assert payload["otherData"]["metadata"]["command"] == "pipeline"
+
+        code, out = run_cli(capsys, "report", str(telemetry))
+        assert code == 0
+        for section in ("telemetry run", "per-stage spans", "per-worker tracks", "metrics"):
+            assert section in out
+        assert "pipeline.run" in out
+
+    def test_sweep_telemetry_table_and_json(self, capsys, tmp_path):
+        telemetry = tmp_path / "sweep_telemetry.json"
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "sweep", "late_sender",
+            "--telemetry", str(telemetry),
+        )
+        assert code == 0
+        assert "telemetry written to" in out
+        assert telemetry.exists()
+
+        import json
+
+        json_telemetry = tmp_path / "sweep_telemetry2.json"
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "sweep", "late_sender", "--json",
+            "--telemetry", str(json_telemetry),
+        )
+        assert code == 0
+        payload = json.loads(out)  # --json output must stay valid JSON
+        assert str(json_telemetry) in payload["telemetry"]
+        names = {
+            e["name"]
+            for e in json.loads(json_telemetry.read_text())["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert {"sweep.run", "sweep.rank"} <= names
+
+    def test_report_missing_file_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "no_such_telemetry.json"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
