@@ -9,11 +9,18 @@ pipeline and checks the outputs are byte-identical, with the binary source
 dispatched to the workers as ``(path, rank)`` shard tasks (no pickled rank
 payloads).
 
+A second stage measures the columnar hot path end to end on the ``.rpb``
+file: fused decode→vectorize (column blocks → ``RankFrame`` → interned
+structural keys + bulk feature vectors, no ``Segment`` objects) against
+decode-to-segments followed by per-segment normalise/key/vectorize — the
+work every reduction performs before its first match decision.
+
 The measurements go to ``BENCH_ingest.json`` at the repository root (plus the
 usual ``results/`` table).  The headline (default-scale) ingest speedup is
-asserted to be at least 3x: unlike pool speedups it is not hardware-dependent
-— both paths run the same single-threaded consumption loop, so the ratio
-isolates the decode cost.
+asserted to be at least 3x and the fused decode→vectorize speedup at least
+2x: unlike pool speedups they are not hardware-dependent — both sides of
+each ratio run the same single-threaded loop, so the ratios isolate the
+decode and vectorize costs.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from support import RESULTS_DIR, emit, run_once, write_bench_json
 from repro.core.metrics import create_metric
 from repro.experiments.config import build_workload, get_scale
 from repro.pipeline.engine import PipelineConfig, reduce_pipeline
-from repro.pipeline.stream import rank_segment_streams
+from repro.pipeline.stream import rank_frame_streams, rank_segment_streams
 from repro.trace.formats import convert_trace
 from repro.trace.io import serialize_reduced_trace, write_trace
 from repro.util.tables import format_table
@@ -38,6 +45,7 @@ BENCH_PATH = RESULTS_DIR.parent / "BENCH_ingest.json"
 WORKLOAD = "sweep3d_32p"  # 32 ranks; the heaviest multi-rank workload
 METHOD = "relDiff"  # cheap metric: keeps the reduce step from masking ingest
 MIN_HEADLINE_SPEEDUP = 3.0
+MIN_FUSED_SPEEDUP = 2.0
 
 
 def _time_ingest(path: Path, passes: int = 2) -> tuple[float, int]:
@@ -59,6 +67,54 @@ def _time_ingest(path: Path, passes: int = 2) -> tuple[float, int]:
     return best, n_segments
 
 
+def _time_segment_vectorize(path: Path, passes: int = 2) -> tuple[float, int]:
+    """Decode-to-segments plus per-segment normalise/key/vectorize.
+
+    The pre-columnar hot path: every segment is materialized, copied by
+    ``relative_to_start()``, structurally keyed, and turned into a feature
+    vector one at a time — the work a reduction performs before its first
+    match decision.
+    """
+    metric = create_metric(METHOD)
+    build_vector = metric.build_vector
+    best = float("inf")
+    n_segments = 0
+    for _ in range(passes):
+        started = time.perf_counter()
+        n_segments = 0
+        for _, segments in rank_segment_streams(path):
+            for segment in segments:
+                relative = segment.relative_to_start()
+                relative.structure()
+                build_vector(relative)
+                n_segments += 1
+        best = min(best, time.perf_counter() - started)
+    return best, n_segments
+
+
+def _time_fused(path: Path, passes: int = 2) -> tuple[float, int]:
+    """Fused columnar decode→vectorize: columns to keys and vectors directly.
+
+    The frame path's equivalent of :func:`_time_segment_vectorize`: column
+    blocks become a ``RankFrame``, then one interning pass yields every
+    structural key and one bulk pass yields every feature vector — no
+    ``Segment`` objects at all.
+    """
+    metric = create_metric(METHOD)
+    frame_vectors = metric.frame_vectors
+    best = float("inf")
+    n_segments = 0
+    for _ in range(passes):
+        started = time.perf_counter()
+        n_segments = 0
+        for _, frame in rank_frame_streams(path):
+            frame.structural_keys()
+            frame_vectors(frame)
+            n_segments += frame.n_segments
+        best = min(best, time.perf_counter() - started)
+    return best, n_segments
+
+
 def _measure_scale(scale_name: str, workdir: Path) -> dict:
     scale = get_scale(scale_name)
     trace = build_workload(WORKLOAD, scale).run()
@@ -72,6 +128,12 @@ def _measure_scale(scale_name: str, workdir: Path) -> dict:
     text_seconds, text_segments = _time_ingest(text_path)
     rpb_seconds, rpb_segments = _time_ingest(rpb_path)
     assert rpb_segments == text_segments, "formats disagree on segment count"
+
+    segvec_seconds, segvec_segments = _time_segment_vectorize(rpb_path)
+    fused_seconds, fused_segments = _time_fused(rpb_path)
+    assert fused_segments == segvec_segments == text_segments, (
+        "vectorize stages disagree on segment count"
+    )
 
     serial = reduce_pipeline(text_path, create_metric(METHOD), PipelineConfig(executor="serial"))
     sharded = reduce_pipeline(
@@ -98,6 +160,9 @@ def _measure_scale(scale_name: str, workdir: Path) -> dict:
         "text_ingest_seconds": round(text_seconds, 6),
         "rpb_ingest_seconds": round(rpb_seconds, 6),
         "ingest_speedup": round(text_seconds / rpb_seconds, 4) if rpb_seconds else None,
+        "segment_vectorize_seconds": round(segvec_seconds, 6),
+        "fused_seconds": round(fused_seconds, 6),
+        "fused_speedup": round(segvec_seconds / fused_seconds, 4) if fused_seconds else None,
         "shard_dispatch": sharded.stats.dispatch,
         "identical_output": identical,
     }
@@ -119,6 +184,24 @@ def test_ingest_speedup(benchmark):
     report = run_once(benchmark, _run_comparison)
     write_bench_json(BENCH_PATH, report)
 
+    fused_rows = [
+        [
+            entry["scale"],
+            entry["n_segments"],
+            f"{entry['segment_vectorize_seconds']:.4f}",
+            f"{entry['fused_seconds']:.4f}",
+            f"{entry['fused_speedup']:.2f}x",
+        ]
+        for entry in report["scales"].values()
+    ]
+    emit(
+        "BENCH_ingest_fused",
+        format_table(
+            ["scale", "segments", "per-segment s", "fused s", "speedup"],
+            fused_rows,
+            title=f"decode→vectorize on .rpb: per-segment vs fused columnar — {WORKLOAD}",
+        ),
+    )
     rows = [
         [
             entry["scale"],
@@ -147,6 +230,11 @@ def test_ingest_speedup(benchmark):
     assert headline["ingest_speedup"] >= MIN_HEADLINE_SPEEDUP, (
         f"binary indexed ingestion must be >= {MIN_HEADLINE_SPEEDUP}x faster than "
         f"the text forward pass, measured {headline['ingest_speedup']:.2f}x"
+    )
+    assert headline["fused_speedup"] >= MIN_FUSED_SPEEDUP, (
+        f"fused columnar decode→vectorize must be >= {MIN_FUSED_SPEEDUP}x faster "
+        "than decode-to-segments + per-segment vectorize, measured "
+        f"{headline['fused_speedup']:.2f}x"
     )
     # On a real multi-rank trace the columnar encoding is also smaller.
     assert headline["rpb_bytes"] < headline["text_bytes"]

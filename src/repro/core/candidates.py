@@ -131,6 +131,49 @@ class CandidateList:
         self._entries.append(stored)
         self._views = None
 
+    def append_built(self, stored: "StoredSegment", metric, row: np.ndarray) -> None:
+        """Register a representative whose feature row is already built.
+
+        The columnar path probes each incoming segment with a pre-built
+        vector; when the segment becomes a new representative that same
+        vector *is* its matrix row, so it is written into the bucket directly
+        instead of being recomputed at the next probe.  The direct write only
+        happens when this bucket's matrix already belongs to ``metric``, has
+        no lazy backlog, and (once allocated) the row width matches; any
+        other state falls back to the plain lazy append, which stays cheap
+        because the caller seeds the vector on the stored segment's cache.
+        """
+        n = len(self._entries)
+        matrix = self._matrix
+        if self._owner is None and not n:
+            self._owner = metric
+        if (
+            metric is self._owner
+            and self._built == n
+            and (matrix is None or row.size == matrix.shape[1])
+        ):
+            if matrix is None:
+                capacity = self.MIN_CAPACITY
+                while capacity <= n:
+                    capacity *= 2
+                matrix = self._matrix = np.zeros((capacity, row.size), dtype=float)
+                if metric.row_scale is not None:
+                    self._scales = np.zeros(capacity, dtype=float)
+            elif n >= matrix.shape[0]:
+                grown = np.zeros((matrix.shape[0] * 2, matrix.shape[1]), dtype=float)
+                grown[:n] = matrix[:n]
+                matrix = self._matrix = grown
+                if self._scales is not None:
+                    scales = np.zeros(grown.shape[0], dtype=float)
+                    scales[:n] = self._scales[:n]
+                    self._scales = scales
+            matrix[n] = row
+            if self._scales is not None:
+                self._scales[n] = metric.row_scale(row)
+            self._built = n + 1
+        self._entries.append(stored)
+        self._views = None
+
     def trim_front(self, n: int) -> None:
         """Drop the ``n`` oldest representatives, compacting matrix rows.
 

@@ -9,13 +9,16 @@ metric then decides whether the measurements are similar enough for a match.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Hashable, Optional, Sequence
+from typing import TYPE_CHECKING, Hashable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.candidates import CandidateList, first_match_index
 from repro.core.reduced import StoredSegment
 from repro.trace.segments import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.core.frames import RankFrame
 
 __all__ = ["SimilarityMetric", "DistanceMetric"]
 
@@ -118,6 +121,18 @@ class DistanceMetric(SimilarityMetric):
     def candidate_vector(self, stored: StoredSegment) -> np.ndarray:
         """Feature vector of a stored representative, memoized on the segment."""
         return stored.cached_vector(self.vector_key(), self.build_vector)
+
+    def frame_vectors(self, frame: "RankFrame") -> list[np.ndarray]:
+        """Every segment's feature vector, built in bulk from a columnar frame.
+
+        The bulk layout is only taken when this instance still uses the base
+        class's :meth:`build_vector` — a subclass with a custom vector layout
+        silently drops to the safe per-segment fallback (materialize, then
+        build), which stays bitwise-correct at the oracle's cost.
+        """
+        if type(self).build_vector is DistanceMetric.build_vector:
+            return frame.pairwise_vectors()
+        return [self.build_vector(frame.segment(i)) for i in range(frame.n_segments)]
 
     #: Optional hook: scalar scale of one candidate row, cached next to the
     #: row at matrix-build time and handed to :meth:`match_stats` as

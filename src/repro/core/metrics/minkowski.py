@@ -84,6 +84,11 @@ class MinkowskiMetric(DistanceMetric):
         """Largest measurement magnitude of one candidate row (cached)."""
         return float(np.abs(vector).max(initial=0.0))
 
+    def frame_vectors(self, frame):
+        if type(self).build_vector is MinkowskiMetric.build_vector:
+            return frame.minkowski_vectors()
+        return [self.build_vector(frame.segment(i)) for i in range(frame.n_segments)]
+
     def match_stats(
         self,
         vector: np.ndarray,

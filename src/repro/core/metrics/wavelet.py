@@ -71,6 +71,11 @@ def haar_transform(values: np.ndarray) -> np.ndarray:
     return _pyramid(values, 1.0 / math.sqrt(2.0))
 
 
+#: Pyramid scale of each known transform — the key the columnar bulk path
+#: uses to reproduce ``transform`` row-batched (``frames.pyramid_rows``).
+_TRANSFORM_SCALES = {average_transform: 0.5, haar_transform: 1.0 / math.sqrt(2.0)}
+
+
 class WaveletMetric(DistanceMetric):
     """Common implementation for the two wavelet variants."""
 
@@ -126,6 +131,19 @@ class WaveletMetric(DistanceMetric):
     def row_scale(self, vector: np.ndarray) -> float:
         """Largest coefficient magnitude of one transformed row (cached)."""
         return float(np.abs(vector).max(initial=0.0))
+
+    def frame_vectors(self, frame):
+        # The bulk path re-derives the pyramid scale from the transform
+        # function; an unknown transform (or overridden vector builder) means
+        # a subclass we cannot vectorize for — fall back to per-segment build.
+        scale = _TRANSFORM_SCALES.get(type(self).transform)
+        if (
+            scale is not None
+            and type(self).build_vector is WaveletMetric.build_vector
+            and type(self).transformed is WaveletMetric.transformed
+        ):
+            return frame.wavelet_vectors(scale=scale, pad=self.pad)
+        return [self.build_vector(frame.segment(i)) for i in range(frame.n_segments)]
 
     def match_stats(
         self,

@@ -19,14 +19,19 @@ bounds reducer memory; with no store the historical inline dictionary is used.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Protocol, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro import obs
 from repro.core.candidates import CandidateList, MatchCounters
-from repro.core.metrics.base import SimilarityMetric
+from repro.core.metrics.base import DistanceMetric, SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
 from repro.trace.segments import Segment
 from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.frames import RankFrame
 
 __all__ = ["TraceReducer", "reduce_trace", "SegmentStore"]
 
@@ -64,6 +69,19 @@ class _InlineStore:
         if bucket is None:
             bucket = self._by_key[key] = CandidateList()
         bucket.append(stored)
+        self._size += 1
+
+    def add_built(self, key: tuple, stored: StoredSegment, metric, row) -> None:
+        """Register a representative with its feature row already built.
+
+        Optional store hook (the columnar path discovers it via ``getattr``):
+        like :meth:`add`, but hands the bucket the probe vector that just
+        failed to match so it becomes the new matrix row without a rebuild.
+        """
+        bucket = self._by_key.get(key)
+        if bucket is None:
+            bucket = self._by_key[key] = CandidateList()
+        bucket.append_built(stored, metric, row)
         self._size += 1
 
     def __len__(self) -> int:
@@ -157,6 +175,163 @@ class TraceReducer:
                 reduced.execs.append((stored_segment.segment_id, segment.start))
                 reduced.exec_matched.append(False)
         return reduced
+
+    # -- columnar (frame) reduction ---------------------------------------------
+
+    def reduce_frame(
+        self,
+        frame: "RankFrame",
+        *,
+        store: Optional[SegmentStore] = None,
+        match_counters: Optional[MatchCounters] = None,
+    ) -> ReducedRankTrace:
+        """Reduce one rank's columnar frame — the lazy-materialization path.
+
+        Structural keys and feature vectors come straight from the frame's
+        bulk passes; :class:`~repro.trace.segments.Segment` objects are only
+        materialized for stored representatives (and for metrics the bulk
+        path cannot serve).  Byte-identical to :meth:`reduce_segments` over
+        the frame's decoded segments — the latter remains the oracle.
+        """
+        reduced = ReducedRankTrace(rank=frame.rank)
+        reduced.n_segments = frame.n_segments
+        if store is None:
+            store = _InlineStore()
+        if self.batch and isinstance(self.metric, DistanceMetric):
+            self._reduce_frame_vectorized(frame, reduced, store, match_counters)
+        else:
+            self._reduce_frame_scan(frame, reduced, store, match_counters)
+        return reduced
+
+    def _reduce_frame_vectorized(
+        self,
+        frame: "RankFrame",
+        reduced: ReducedRankTrace,
+        store: SegmentStore,
+        match_counters: Optional[MatchCounters],
+    ) -> None:
+        """Distance metrics: probe with pre-built vectors, materialize on store."""
+        metric = self.metric
+        keys = frame.structural_keys()
+        vectors = metric.frame_vectors(frame)
+        starts = frame.starts_list()
+        mutates = metric.mutates_stored
+        # When on_match is the base-class default (count the match) it runs
+        # inline, so matches never force a Segment materialization.
+        default_on_match = type(metric).on_match is SimilarityMetric.on_match
+        vector_key = metric.vector_key()
+        add_built = getattr(store, "add_built", None)
+        perf_counter = time.perf_counter
+        next_id = 0
+
+        for i in range(frame.n_segments):
+            key = keys[i]
+            vector = vectors[i]
+            candidates = store.candidates(key)
+            chosen = None
+            if candidates:
+                reduced.n_possible_matches += 1
+                if match_counters is None:
+                    chosen = self._match_frame_row(metric, frame, i, vector, candidates)
+                else:
+                    started = perf_counter()
+                    chosen = self._match_frame_row(metric, frame, i, vector, candidates)
+                    match_counters.seconds += perf_counter() - started
+                    match_counters.calls += 1
+                    match_counters.rows_compared += len(candidates)
+            if chosen is not None:
+                reduced.n_matches += 1
+                reduced.execs.append((chosen.segment_id, starts[i]))
+                reduced.exec_matched.append(True)
+                if default_on_match:
+                    chosen.count += 1
+                else:
+                    metric.on_match(frame.segment(i), chosen)
+                if mutates:
+                    refresh = getattr(candidates, "refresh", None)
+                    if refresh is not None:
+                        refresh(chosen)
+            else:
+                stored_segment = StoredSegment(segment_id=next_id, segment=frame.segment(i))
+                next_id += 1
+                if not mutates:
+                    # Seed the vector cache with a private copy (a frame row
+                    # is a view that would pin the whole group matrix) and
+                    # hand the row to the bucket so it is never recomputed.
+                    row = np.array(vector)
+                    stored_segment.cached_vector(vector_key, lambda _s, _row=row: _row)
+                    if add_built is not None:
+                        add_built(key, stored_segment, metric, row)
+                    else:
+                        store.add(key, stored_segment)
+                else:
+                    store.add(key, stored_segment)
+                reduced.stored.append(stored_segment)
+                reduced.execs.append((stored_segment.segment_id, starts[i]))
+                reduced.exec_matched.append(False)
+
+    @staticmethod
+    def _match_frame_row(metric, frame, i, vector, candidates):
+        """Batched probe of one frame row against a candidate bucket."""
+        if isinstance(candidates, CandidateList):
+            matrix, scales = candidates.matrix_and_scales(metric)
+            index = metric.match_batch(vector, matrix, scales)
+            return candidates[index] if index is not None else None
+        # A custom store without CandidateList buckets: scan semantics need
+        # the segment itself.
+        return metric.match_candidates(frame.segment(i), candidates)
+
+    def _reduce_frame_scan(
+        self,
+        frame: "RankFrame",
+        reduced: ReducedRankTrace,
+        store: SegmentStore,
+        match_counters: Optional[MatchCounters],
+    ) -> None:
+        """Scan metrics (iteration methods): materialize each segment.
+
+        These metrics inspect the segment object itself, so the frame only
+        contributes the interned structural keys; the per-segment work is
+        exactly what :meth:`reduce_segments` did.
+        """
+        metric = self.metric
+        matcher = metric.match_candidates if self.batch else metric.match
+        mutates = metric.mutates_stored
+        keys = frame.structural_keys()
+        starts = frame.starts_list()
+        perf_counter = time.perf_counter
+        next_id = 0
+
+        for i in range(frame.n_segments):
+            relative = frame.segment(i)
+            candidates = store.candidates(keys[i])
+            chosen = None
+            if candidates:
+                reduced.n_possible_matches += 1
+                if match_counters is None:
+                    chosen = matcher(relative, candidates)
+                else:
+                    started = perf_counter()
+                    chosen = matcher(relative, candidates)
+                    match_counters.seconds += perf_counter() - started
+                    match_counters.calls += 1
+                    match_counters.rows_compared += len(candidates)
+            if chosen is not None:
+                reduced.n_matches += 1
+                reduced.execs.append((chosen.segment_id, starts[i]))
+                reduced.exec_matched.append(True)
+                metric.on_match(relative, chosen)
+                if mutates:
+                    refresh = getattr(candidates, "refresh", None)
+                    if refresh is not None:
+                        refresh(chosen)
+            else:
+                stored_segment = StoredSegment(segment_id=next_id, segment=relative)
+                next_id += 1
+                store.add(keys[i], stored_segment)
+                reduced.stored.append(stored_segment)
+                reduced.execs.append((stored_segment.segment_id, starts[i]))
+                reduced.exec_matched.append(False)
 
     # -- whole-trace reduction --------------------------------------------------
 

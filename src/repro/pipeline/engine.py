@@ -38,9 +38,16 @@ Task dispatch (recorded in ``PipelineStats.dispatch``)
     In-memory sources on fork platforms: workers inherit the trace
     copy-on-write and tasks carry only a rank index.
 ``payload``
-    The fallback: each rank's segment list is materialized and pickled to a
-    worker.  Submission is throttled to a bounded in-flight window so a
-    trace with thousands of ranks never has every rank materialized at once.
+    The fallback: each rank is materialized as a columnar frame and pickled
+    to a worker (column arrays pack far tighter than segment-object lists).
+    Submission is throttled to a bounded in-flight window so a trace with
+    thousands of ranks never has every rank materialized at once.
+
+Whatever the dispatch mode, every rank reaches the reducer as a
+:class:`~repro.core.frames.RankFrame` — ``.rpb`` ranks decode straight to
+columns, text and in-memory sources adapt through
+``RankFrame.from_segments`` — so all executors run the one columnar code
+path, with the segment-at-a-time reducer kept as the byte-identity oracle.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ from typing import Optional
 
 from repro import obs
 from repro.core.candidates import MatchCounters
+from repro.core.frames import RankFrame
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace
 from repro.core.reducer import TraceReducer
@@ -65,8 +73,9 @@ from repro.pipeline.store import StoreCounters, create_store
 from repro.pipeline.stream import (
     SegmentSource,
     indexed_source_ranks,
+    rank_frame_streams,
     rank_segment_streams,
-    shard_segment_stream,
+    shard_frame,
     source_name,
 )
 from repro.trace.segments import iter_segments
@@ -102,7 +111,7 @@ class PipelineConfig:
         final stage.
     max_pending:
         In-flight rank tasks for pooled executors; ``None`` means
-        ``2 * workers``.  Bounds how many ranks' segment lists exist at once.
+        ``2 * workers``.  Bounds how many ranks' column frames exist at once.
     """
 
     executor: str = "process"
@@ -139,10 +148,12 @@ class PipelineResult:
 
 
 #: What every rank task returns: the reduced rank, its store and match
-#: counters, and — in telemetry capture mode — the worker's recorder snapshot
-#: (``None`` otherwise), piggybacked so no extra IPC round-trip is needed.
+#: counters, the number of ``Segment`` objects the columnar path actually
+#: materialized, and — in telemetry capture mode — the worker's recorder
+#: snapshot (``None`` otherwise), piggybacked so no extra IPC round-trip is
+#: needed.
 RankTaskResult = tuple[
-    ReducedRankTrace, StoreCounters, MatchCounters, Optional[obs.RecorderSnapshot]
+    ReducedRankTrace, StoreCounters, MatchCounters, int, Optional[obs.RecorderSnapshot]
 ]
 
 
@@ -151,6 +162,7 @@ def _record_rank_metrics(
     reduced: ReducedRankTrace,
     store_counters: StoreCounters,
     match_counters: MatchCounters,
+    n_materialized: int,
 ) -> None:
     """Fill a worker-local registry with one rank's per-task metrics.
 
@@ -159,25 +171,33 @@ def _record_rank_metrics(
     nothing is ever double-counted.
     """
     registry.inc("ingest.segments", reduced.n_segments)
+    registry.inc("columnar.materialized", n_materialized)
     registry.inc("reduce.stored", len(reduced.stored))
     registry.inc("reduce.matches", reduced.n_matches)
     store_counters.record_to(registry)
     match_counters.record_to(registry)
 
 
+def _as_frame(rank: int, segments) -> RankFrame:
+    """Adapt a rank task's input to a columnar frame (no-op for frames)."""
+    if isinstance(segments, RankFrame):
+        return segments
+    return RankFrame.from_segments(rank, segments)
+
+
 def _reduce_rank_inner(
     metric: SimilarityMetric,
     rank: int,
-    segments,
+    frame: RankFrame,
     store_capacity: Optional[int],
-) -> tuple[ReducedRankTrace, StoreCounters, MatchCounters]:
+) -> tuple[ReducedRankTrace, StoreCounters, MatchCounters, int]:
     store = create_store(store_capacity)
     match_counters = MatchCounters()
     with obs.span("rank.reduce", rank=rank):
-        reduced = TraceReducer(metric).reduce_segments(
-            segments, rank=rank, store=store, match_counters=match_counters
+        reduced = TraceReducer(metric).reduce_frame(
+            frame, store=store, match_counters=match_counters
         )
-    return reduced, store.counters, match_counters
+    return reduced, store.counters, match_counters, frame.materialized
 
 
 def _reduce_rank_task(
@@ -189,18 +209,22 @@ def _reduce_rank_task(
 ) -> RankTaskResult:
     """One worker task: reduce a single rank with its own store.
 
-    Module-level so process pools can pickle it; the pickled ``metric`` gives
-    every rank a private metric instance, mirroring serial semantics (metrics
-    hold no cross-rank state).  With ``capture=True`` the task records its
-    spans/metrics into a private recorder — shadowing any (orphaned,
-    fork-inherited or thread-shared) ambient recorder — and returns the
-    snapshot as the fourth element.
+    ``segments`` may be a pre-built :class:`RankFrame` or any segment
+    iterable (adapted here, so every dispatch mode converges on the columnar
+    path).  Module-level so process pools can pickle it; the pickled
+    ``metric`` gives every rank a private metric instance, mirroring serial
+    semantics (metrics hold no cross-rank state).  With ``capture=True`` the
+    task records its spans/metrics into a private recorder — shadowing any
+    (orphaned, fork-inherited or thread-shared) ambient recorder — and
+    returns the snapshot as the final element.
     """
     if not capture:
-        return (*_reduce_rank_inner(metric, rank, segments, store_capacity), None)
+        frame = _as_frame(rank, segments)
+        return (*_reduce_rank_inner(metric, rank, frame, store_capacity), None)
     recorder = obs.Recorder(label="worker")
     with obs.local_recording(recorder):
-        result = _reduce_rank_inner(metric, rank, segments, store_capacity)
+        frame = _as_frame(rank, segments)
+        result = _reduce_rank_inner(metric, rank, frame, store_capacity)
     _record_rank_metrics(recorder.registry, *result)
     return (*result, recorder.snapshot())
 
@@ -215,23 +239,21 @@ def _reduce_shard_task(
     """One worker task for indexed file sources: a ``(path, rank)`` shard.
 
     The task payload is just the file path and a rank id; the worker opens
-    the file itself, seeks to the rank's byte range, and decodes only that
-    rank — no rank data crosses the pickle boundary in either direction
-    except the (much smaller) reduced result.
+    the file itself, seeks to the rank's byte range, and decodes its rank's
+    column blocks straight into a frame — no rank data crosses the pickle
+    boundary in either direction except the (much smaller) reduced result.
 
-    In capture mode the rank is materialized under a ``shard.decode`` span
+    In capture mode the frame is decoded under a ``shard.decode`` span
     before reducing, so the exported timeline separates decode from match
-    time per shard — one rank's segment list at a time is bounded memory.
+    time per shard.
     """
     if not capture:
-        return _reduce_rank_task(
-            metric, rank, shard_segment_stream(path, rank), store_capacity
-        )
+        return _reduce_rank_task(metric, rank, shard_frame(path, rank), store_capacity)
     recorder = obs.Recorder(label="worker")
     with obs.local_recording(recorder):
         with obs.span("shard.decode", rank=rank):
-            segments = list(shard_segment_stream(path, rank))
-        result = _reduce_rank_inner(metric, rank, segments, store_capacity)
+            frame = shard_frame(path, rank)
+        result = _reduce_rank_inner(metric, rank, frame, store_capacity)
     _record_rank_metrics(recorder.registry, *result)
     return (*result, recorder.snapshot())
 
@@ -331,7 +353,7 @@ class ReductionPipeline:
             "pipeline.run", executor=executor, dispatch=dispatch, workers=workers
         ):
             if dispatch == "inline":
-                ranks = self._reduce_serial(rank_segment_streams(source), stats)
+                ranks = self._reduce_serial(rank_frame_streams(source), stats)
             elif dispatch == "shard":
                 ranks = self._reduce_sharded(Path(source), shard_ranks, stats)
             elif dispatch == "fork":
@@ -367,20 +389,25 @@ class ReductionPipeline:
     # -- executor strategies ---------------------------------------------------
 
     def _reduce_serial(self, streams, stats: PipelineStats) -> list[ReducedRankTrace]:
-        """Feed each rank's stream straight into the reducer (bounded memory).
+        """Feed each rank's frame straight into the reducer, one rank at a time.
 
-        Runs in the caller's process, so task spans land directly on the
-        ambient recorder — no capture/snapshot round-trip is needed.
+        Memory is bounded by the largest single rank's column arrays plus the
+        representative store.  Runs in the caller's process, so task spans
+        land directly on the ambient recorder — no capture/snapshot
+        round-trip is needed.
         """
         ranks: list[ReducedRankTrace] = []
         with time_stage(stats, "reduce"):
-            for rank, segments in streams:
-                reduced_rank, counters, match_counters, _ = _reduce_rank_task(
-                    self.metric, rank, segments, self.config.store_capacity
+            for rank, frame in streams:
+                reduced_rank, counters, match_counters, n_materialized, _ = (
+                    _reduce_rank_task(
+                        self.metric, rank, frame, self.config.store_capacity
+                    )
                 )
                 ranks.append(reduced_rank)
                 stats.store = stats.store.merged_with(counters)
                 stats.match = stats.match.merged_with(match_counters)
+                stats.segments_materialized += n_materialized
         return ranks
 
     @staticmethod
@@ -389,10 +416,11 @@ class ReductionPipeline:
     ) -> None:
         """Fold ordered task results into ``stats``, absorbing any snapshots."""
         recorder = obs.current_recorder()
-        for reduced_rank, counters, match_counters, snapshot in results:
+        for reduced_rank, counters, match_counters, n_materialized, snapshot in results:
             ranks.append(reduced_rank)
             stats.store = stats.store.merged_with(counters)
             stats.match = stats.match.merged_with(match_counters)
+            stats.segments_materialized += n_materialized
             if recorder is not None:
                 recorder.absorb(snapshot)
 
@@ -480,12 +508,13 @@ class ReductionPipeline:
                 n_streams = 0
                 for position, (rank, segments) in enumerate(streams):
                     n_streams += 1
-                    # Pooled tasks need the rank's segments materialized for
-                    # submission; the window bounds how many exist at once.
+                    # Pooled tasks ship each rank as a columnar frame (column
+                    # arrays pickle far smaller than segment-object lists);
+                    # the window bounds how many exist at once.
                     with time_stage(stats, "ingest"), obs.span(
                         "dispatch.materialize", rank=rank
                     ):
-                        payload = segments if isinstance(segments, list) else list(segments)
+                        payload = _as_frame(rank, segments)
                     if capture:
                         # The serialized task size is the cost this dispatch
                         # mode pays per rank; measuring it re-pickles, so the

@@ -32,6 +32,9 @@ class PipelineStats:
     n_stored: int = 0
     n_matches: int = 0
     n_possible_matches: int = 0
+    #: ``Segment`` objects actually built on the columnar path — the
+    #: lazy-materialization saving is ``n_segments - segments_materialized``.
+    segments_materialized: int = 0
     merged_stored: int = 0
     merged_duplicates: int = 0
     stage_seconds: dict = field(default_factory=dict)
@@ -84,6 +87,10 @@ class PipelineStats:
             ["task dispatch", self.dispatch or "-"],
             ["ranks", self.nprocs],
             ["segments", self.n_segments],
+            [
+                "segments materialized (lazy)",
+                f"{self.segments_materialized} of {self.n_segments} decoded",
+            ],
             ["stored representatives", self.n_stored],
             ["match rate", f"{self.match_rate:.4f}"],
             ["store hits / lookups", f"{self.store.hits} / {self.store.lookups}"],
@@ -112,6 +119,7 @@ class PipelineStats:
         registry.set_gauge("pipeline.workers", self.workers)
         registry.set_gauge("pipeline.ranks", self.nprocs)
         registry.inc("pipeline.segments", self.n_segments)
+        registry.inc("columnar.materialized", self.segments_materialized)
         registry.inc("pipeline.stored", self.n_stored)
         registry.inc("pipeline.matches", self.n_matches)
         registry.inc("pipeline.possible_matches", self.n_possible_matches)

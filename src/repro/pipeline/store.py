@@ -162,6 +162,25 @@ class LRUStore(RepresentativeStore):
             self._by_key.move_to_end(key)
         bucket.append(stored)
         self._size += 1
+        self._evict_over_capacity(bucket)
+
+    def add_built(self, key: Hashable, stored: StoredSegment, metric, row) -> None:
+        """Like :meth:`add`, with the representative's feature row pre-built.
+
+        The columnar path's optional store hook — same recency/eviction
+        semantics, but the bucket ingests the probe vector as its new matrix
+        row instead of rebuilding it lazily.
+        """
+        bucket = self._by_key.get(key)
+        if bucket is None:
+            bucket = self._by_key[key] = CandidateList()
+        else:
+            self._by_key.move_to_end(key)
+        bucket.append_built(stored, metric, row)
+        self._size += 1
+        self._evict_over_capacity(bucket)
+
+    def _evict_over_capacity(self, bucket: CandidateList) -> None:
         while self._size > self.capacity:
             if len(self._by_key) > 1:
                 _, evicted = self._by_key.popitem(last=False)

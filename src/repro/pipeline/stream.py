@@ -24,6 +24,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Tuple, Union
 
+from repro.core.frames import RankFrame
 from repro.trace.formats import resolve_format
 from repro.trace.segments import Segment, iter_segments
 from repro.trace.trace import SegmentedTrace, Trace
@@ -31,9 +32,11 @@ from repro.trace.trace import SegmentedTrace, Trace
 __all__ = [
     "SegmentSource",
     "rank_segment_streams",
+    "rank_frame_streams",
     "source_name",
     "indexed_source_ranks",
     "shard_segment_stream",
+    "shard_frame",
 ]
 
 #: Anything the pipeline can ingest.
@@ -68,6 +71,40 @@ def shard_segment_stream(path: str | Path, rank: int) -> Iterator[Segment]:
             "decoded rank-by-rank"
         )
     return fmt.rank_segments(Path(path), rank)
+
+
+def shard_frame(path: str | Path, rank: int) -> RankFrame:
+    """Decode one rank of an indexed trace file into a columnar frame.
+
+    The columnar counterpart of :func:`shard_segment_stream` — what a
+    ``(path, rank)`` shard task runs inside a pool worker on the frame path.
+    Formats without a native frame decoder fall back through their segment
+    decoder and the segments→frame adapter.
+    """
+    fmt = resolve_format(path)
+    if fmt.rank_frame is not None:
+        return fmt.rank_frame(Path(path), rank)
+    return RankFrame.from_segments(rank, shard_segment_stream(path, rank))
+
+
+def rank_frame_streams(source: SegmentSource) -> Iterator[Tuple[int, RankFrame]]:
+    """Yield ``(rank, RankFrame)`` pairs for any supported source.
+
+    The columnar counterpart of :func:`rank_segment_streams`: ``.rpb`` files
+    decode straight into frames (no ``Segment`` objects), while in-memory
+    traces and forward-only text files adapt through
+    :meth:`RankFrame.from_segments` — so every engine runs one code path
+    regardless of where the trace lives.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        fmt = resolve_format(path)
+        if fmt.rank_frame is not None and fmt.rank_ids is not None:
+            for rank in fmt.rank_ids(path):
+                yield rank, fmt.rank_frame(path, rank)
+            return
+    for rank, segments in rank_segment_streams(source):
+        yield rank, RankFrame.from_segments(rank, segments)
 
 
 def rank_segment_streams(

@@ -1,15 +1,19 @@
-"""Shared-ingest sweep engine: one segment stream, N reducer states.
+"""Shared-ingest sweep engine: one columnar frame, N reducer states.
 
 For each rank the engine runs the paper's matching algorithm for *every*
 config of a :class:`~repro.sweep.plan.SweepPlan` simultaneously, sharing all
 the per-segment work that does not depend on the config:
 
-* the segment stream itself (segments are decoded/streamed exactly once);
-* the normalisation (``relative_to_start``) and the structural key;
-* each feature family's feature vector, computed once per segment and used
-  both as the ``match_batch`` probe of every member config and — via the
-  :class:`~repro.core.reduced.StoredSegment` vector cache — as the candidate
-  row when a member config stores the segment as a new representative.
+* the rank's :class:`~repro.core.frames.RankFrame` itself (``.rpb`` files
+  decode straight to columns; other sources adapt through the segments→frame
+  adapter — either way the rank is ingested exactly once);
+* the normalisation and the structural keys, which come from the frame's
+  bulk passes (one vectorized subtraction and one interning sweep per rank
+  instead of a ``relative_to_start()`` copy and a tuple hash per segment);
+* each feature family's feature vectors, built in one bulk frame pass and
+  used both as the ``match_batch`` probe of every member config and — via
+  the :class:`~repro.core.reduced.StoredSegment` vector cache — as the
+  candidate row when a member config stores the segment as a representative.
 
 Everything config-dependent stays private per config: the representative
 store, the :class:`~repro.core.candidates.CandidateList` buckets and their
@@ -19,29 +23,34 @@ in the same order, so each config's reduced trace serializes byte-identical
 to a solo :class:`~repro.core.reducer.TraceReducer` run (the equivalence
 suite asserts exactly that for all nine metrics).
 
-Configs whose metric mutates its stored representatives (``iter_avg``) get a
-private normalised copy of each segment they store; all other configs share
-one normalised segment object per input segment, which is safe because
-matching and serialization never write to it.
+:class:`~repro.trace.segments.Segment` objects materialize lazily: a frame
+row becomes a segment only when some config needs the object itself — to
+store it as a representative, to run a scan-only metric (the iteration
+methods), or to feed a non-default ``on_match``.  Configs whose metric
+mutates its stored representatives (``iter_avg``) get a private materialized
+copy of each segment they store; all other configs share one materialized
+segment per input segment, which is safe because matching and serialization
+never write to it.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
 from repro import obs
 from repro.core.candidates import CandidateList, MatchCounters, first_match_index
+from repro.core.frames import InternedKey, RankFrame
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
 from repro.pipeline.store import StoreCounters, create_store
 from repro.pipeline.stream import (
     SegmentSource,
-    rank_segment_streams,
-    shard_segment_stream,
+    rank_frame_streams,
+    shard_frame,
     source_name,
 )
 from repro.sweep.plan import SweepConfig, SweepPlan
@@ -49,6 +58,10 @@ from repro.sweep.results import ConfigOutcome, SweepResult
 from repro.trace.segments import Segment
 
 __all__ = ["SweepStats", "SweepEngine", "sweep_source"]
+
+#: Backwards-compatible alias: the interned structural key now lives with the
+#: columnar frame machinery (every frame hands out the same wrapper objects).
+_InternedKey = InternedKey
 
 
 @dataclass(slots=True)
@@ -59,13 +72,16 @@ class SweepStats:
     n_families: int = 0
     n_ranks: int = 0
     n_segments: int = 0
+    #: ``Segment`` objects actually built on the columnar path — the
+    #: lazy-materialization saving is ``n_segments - segments_materialized``.
+    segments_materialized: int = 0
     #: Feature-vector computations actually performed (per segment × family).
     vector_builds: int = 0
     #: Vector computations a per-config serial loop would have performed for
     #: the same stream (per segment × vectorized config).
     vector_builds_naive: int = 0
     total_seconds: float = 0.0
-    #: How the grid reached the reducer states: ``inline`` (one shared stream
+    #: How the grid reached the reducer states: ``inline`` (one shared frame
     #: in this process) or ``shard`` ((rank × family) pool tasks).
     dispatch: str = "inline"
 
@@ -88,7 +104,11 @@ class SweepStats:
             ["feature families", self.n_families],
             ["task dispatch", self.dispatch],
             ["ranks", self.n_ranks],
-            ["segments (streamed once)", self.n_segments],
+            ["segments (ingested once)", self.n_segments],
+            [
+                "segments materialized (lazy)",
+                f"{self.segments_materialized} of {self.n_segments} decoded",
+            ],
             ["vector builds", self.vector_builds],
             ["vector builds saved", self.vector_builds_saved],
             ["vector sharing factor", f"{self.sharing_factor:.2f}x"],
@@ -101,37 +121,10 @@ class SweepStats:
         registry.set_gauge("sweep.families", self.n_families)
         registry.set_gauge("sweep.ranks", self.n_ranks)
         registry.inc("sweep.segments", self.n_segments)
+        registry.inc("columnar.materialized", self.segments_materialized)
         registry.inc("sweep.vector_builds", self.vector_builds)
         registry.inc("sweep.vector_builds_naive", self.vector_builds_naive)
         registry.inc("sweep.total_seconds", self.total_seconds)
-
-
-class _InternedKey:
-    """A structural key wrapper with a cached hash, interned per rank.
-
-    Every config's store is keyed by the segment's structural key — a large
-    nested tuple whose hash is recomputed on every dict operation.  The sweep
-    engine hashes each distinct structure once per rank, then hands all N
-    stores the same wrapper object: its hash is a cached int and, because the
-    wrapper is interned, dict probes succeed on pointer identity without ever
-    re-comparing the underlying tuple.
-    """
-
-    __slots__ = ("value", "_hash")
-
-    def __init__(self, value: tuple) -> None:
-        self.value = value
-        self._hash = hash(value)
-
-    def __hash__(self) -> int:
-        return self._hash
-
-    def __eq__(self, other) -> bool:
-        if self is other:
-            return True
-        if isinstance(other, _InternedKey):
-            return self.value == other.value
-        return NotImplemented
 
 
 class _ConfigState:
@@ -144,7 +137,9 @@ class _ConfigState:
         "vectorized",
         "vector_key",
         "mutates",
+        "default_on_match",
         "store",
+        "add_built",
         "lookup",
         "reduced",
         "next_id",
@@ -166,7 +161,11 @@ class _ConfigState:
         self.vectorized = vector_key is not None
         self.vector_key = vector_key
         self.mutates = metric.mutates_stored
+        # When on_match is the base-class default (count the match) it runs
+        # inline, so matches never force a Segment materialization.
+        self.default_on_match = type(metric).on_match is SimilarityMetric.on_match
         self.store = create_store(store_capacity)
+        self.add_built = getattr(self.store, "add_built", None)
         self.lookup = self.store.candidates  # prebound: hottest call in the loop
         self.reduced = ReducedRankTrace(rank=rank)
         self.next_id = 0
@@ -182,6 +181,8 @@ class _RankSweep:
     store_counters: dict[tuple, StoreCounters]
     match_counters: dict[tuple, MatchCounters]
     n_segments: int = 0
+    #: ``Segment`` objects lazily materialized from the rank's frame.
+    segments_materialized: int = 0
     vector_builds: int = 0
     vector_builds_naive: int = 0
     #: Worker telemetry snapshot when the task ran in capture mode.
@@ -192,9 +193,10 @@ def merge_rank_groups(parts: list[_RankSweep]) -> _RankSweep:
     """Merge one rank's per-family-group sweeps into a single rank sweep.
 
     Used by the sharded dispatch, where each (rank × family group) pool task
-    re-streams the rank independently: config outcomes are disjoint across
-    groups, every group saw the same segments (so the segment count is taken
-    once, not summed), and vector-build counters add up.
+    re-decodes the rank's frame independently: config outcomes are disjoint
+    across groups, every group saw the same segments (so the segment count is
+    taken once, not summed), and the work counters — vector builds and lazy
+    materializations, both real work done per group — add up.
     """
     if not parts:
         raise ValueError("cannot merge an empty list of rank sweeps")
@@ -205,6 +207,7 @@ def merge_rank_groups(parts: list[_RankSweep]) -> _RankSweep:
         merged.reduced.update(part.reduced)
         merged.store_counters.update(part.store_counters)
         merged.match_counters.update(part.match_counters)
+        merged.segments_materialized += part.segments_materialized
         merged.vector_builds += part.vector_builds
         merged.vector_builds_naive += part.vector_builds_naive
     return merged
@@ -222,19 +225,20 @@ def _sweep_shard_task(
 
     The payload is just a file path, a rank id, and (method, threshold)
     pairs; the worker opens the indexed file, decodes only the rank's byte
-    range, and runs the group's configs over it in one shared pass.  With
-    ``capture=True`` the task records into a private recorder and ships the
-    snapshot back on the result.
+    range into a columnar frame, and runs the group's configs over it in one
+    shared pass.  With ``capture=True`` the task records into a private
+    recorder and ships the snapshot back on the result.
     """
     plan = SweepPlan([SweepConfig(method, threshold) for method, threshold in specs])
     engine = SweepEngine(plan, store_capacity=store_capacity, instrument=instrument)
     if not capture:
-        return engine.sweep_rank(rank, shard_segment_stream(path, rank))
+        return engine.sweep_rank(rank, shard_frame(path, rank))
     recorder = obs.Recorder(label="worker")
     with obs.local_recording(recorder):
-        result = engine.sweep_rank(rank, shard_segment_stream(path, rank))
+        result = engine.sweep_rank(rank, shard_frame(path, rank))
     registry = recorder.registry
     registry.inc("ingest.segments", result.n_segments)
+    registry.inc("columnar.materialized", result.segments_materialized)
     registry.inc("sweep.vector_builds", result.vector_builds)
     registry.inc("sweep.vector_builds_naive", result.vector_builds_naive)
     result.snapshot = recorder.snapshot()
@@ -242,7 +246,7 @@ def _sweep_shard_task(
 
 
 class SweepEngine:
-    """Evaluates a whole sweep plan in a single pass over each rank's segments.
+    """Evaluates a whole sweep plan in a single pass over each rank's frame.
 
     ``store_capacity`` bounds every config's per-rank representative store
     (``None`` keeps the unbounded byte-identical default, exactly as in the
@@ -266,15 +270,30 @@ class SweepEngine:
 
     # -- per-rank reduction ------------------------------------------------------
 
-    def sweep_rank(self, rank: int, segments: Iterable[Segment]) -> _RankSweep:
-        """Run every config of the plan over one rank's segment stream."""
-        with obs.span("sweep.rank", rank=rank, configs=self.plan.n_configs):
-            return self._sweep_rank(rank, segments)
+    def sweep_rank(
+        self, rank: int, segments: Union[RankFrame, Iterable[Segment]]
+    ) -> _RankSweep:
+        """Run every config of the plan over one rank's frame (or segments).
 
-    def _sweep_rank(self, rank: int, segments: Iterable[Segment]) -> _RankSweep:
+        A plain segment iterable adapts through the segments→frame adapter,
+        so every caller runs the same columnar loop.
+        """
+        if isinstance(segments, RankFrame):
+            frame = segments
+        else:
+            frame = RankFrame.from_segments(rank, segments)
+        with obs.span("sweep.rank", rank=rank, configs=self.plan.n_configs):
+            return self._sweep_rank(frame)
+
+    def _sweep_rank(self, frame: RankFrame) -> _RankSweep:
         instrument = self.instrument
         capacity = self.store_capacity
-        # Per family: the vector key plus the member states grouped by metric
+        rank = frame.rank
+        n_segments = frame.n_segments
+        vector_builds = 0
+        vector_builds_naive = 0
+        # Per family: the shared probe vectors (one bulk frame pass serves
+        # every member config) plus the member states grouped by metric
         # *kind* (class).  Metric instances are fresh per rank, mirroring the
         # pipeline's per-task metric copies (metrics hold no cross-rank
         # state, but iter_avg's mutation path must never alias).  Configs of
@@ -282,46 +301,55 @@ class SweepEngine:
         # the engine evaluates each kind's stacked candidate rows in a single
         # NumPy pass per segment and applies each config's threshold as a
         # cheap comparison over its own slice.
-        families: list[tuple[object, list[_ConfigState], list[list[_ConfigState]]]] = []
+        families: list[tuple[list[_ConfigState], list, Optional[list]]] = []
         for family in self.plan.families:
             states = [
                 _ConfigState(c, c.create(), family.vector_key, rank, capacity, instrument)
                 for c in family.configs
             ]
+            for state in states:
+                state.reduced.n_segments = n_segments
             by_kind: dict[type, list[_ConfigState]] = {}
+            vectors: Optional[list] = None
             if family.vectorized:
                 for state in states:
                     bucket = by_kind.get(type(state.metric))
                     if bucket is None:
                         by_kind[type(state.metric)] = bucket = []
                     bucket.append(state)
+                # One bulk pass builds the family's probes for the whole
+                # rank; logically still one build per segment, shared by
+                # every member config.
+                vectors = states[0].metric.frame_vectors(frame)
+                vector_builds += n_segments
+                vector_builds_naive += n_segments * len(states)
             # (member states, their thresholds as a row-multiplier source)
             kinds = [
                 (kind_states, np.array([s.threshold for s in kind_states]))
                 for kind_states in by_kind.values()
             ]
-            families.append((family.vector_key, states, kinds))
+            families.append((states, kinds, vectors))
 
-        n_segments = 0
-        vector_builds = 0
-        vector_builds_naive = 0
+        keys = frame.structural_keys()
+        starts = frame.starts_list()
         perf_counter = time.perf_counter
-        interned: dict[tuple, _InternedKey] = {}
         concatenate = np.concatenate
 
-        for segment in segments:
-            n_segments += 1
-            relative = segment.relative_to_start()
-            structure = relative.structure()
-            key = interned.get(structure)
-            if key is None:
-                key = interned[structure] = _InternedKey(structure)
-            for vector_key, states, kinds in families:
-                if vector_key is None:
-                    # Scan-only family (iteration methods): no shared vector.
+        for i in range(n_segments):
+            key = keys[i]
+            start = starts[i]
+            # One-element cache of the segment's materialized normalised
+            # form, shared by every config that needs the object itself.
+            rel: list = [None]
+            for states, kinds, vectors in families:
+                if vectors is None:
+                    # Scan-only family (iteration methods): no shared vector,
+                    # and the metrics inspect the segment object itself.
+                    relative = rel[0]
+                    if relative is None:
+                        relative = rel[0] = frame.segment(i)
                     for state in states:
                         reduced = state.reduced
-                        reduced.n_segments += 1
                         candidates = state.lookup(key)
                         chosen = None
                         if candidates:
@@ -333,20 +361,17 @@ class SweepEngine:
                                 counters.seconds += perf_counter() - started
                                 counters.calls += 1
                                 counters.rows_compared += len(candidates)
-                        self._record(state, key, segment, relative, candidates, chosen, None)
+                        self._record(state, key, frame, i, start, rel, candidates, chosen, None)
                     continue
 
-                # One build serves every member config, both as the match
-                # probe and as the stored candidate's cached row.
-                vector = states[0].metric.build_vector(relative)
-                vector_builds += 1
-                vector_builds_naive += len(states)
+                # One pre-built row serves every member config, both as the
+                # match probe and as the stored candidate's cached row.
+                vector = vectors[i]
                 for kind_states, kind_thresholds in kinds:
                     # Gather each member's candidates; members with none
                     # store immediately, the rest join the stacked kernel.
                     participants = []
                     for state in kind_states:
-                        state.reduced.n_segments += 1
                         candidates = state.lookup(key)
                         if candidates:
                             state.reduced.n_possible_matches += 1
@@ -354,12 +379,17 @@ class SweepEngine:
                                 matrix, scales = candidates.matrix_and_scales(state.metric)
                                 participants.append((state, candidates, matrix, scales))
                             else:  # pragma: no cover - stores always bucket
+                                relative = rel[0]
+                                if relative is None:
+                                    relative = rel[0] = frame.segment(i)
                                 chosen = state.metric.match_candidates(relative, candidates)
                                 self._record(
-                                    state, key, segment, relative, candidates, chosen, vector
+                                    state, key, frame, i, start, rel, candidates, chosen, vector
                                 )
                         else:
-                            self._record(state, key, segment, relative, candidates, None, vector)
+                            self._record(
+                                state, key, frame, i, start, rel, candidates, None, vector
+                            )
                     if not participants:
                         continue
                     counted = perf_counter() if instrument else 0.0
@@ -367,7 +397,7 @@ class SweepEngine:
                         state, candidates, matrix, scales = participants[0]
                         index = state.metric.match_batch(vector, matrix, scales)
                         chosen = candidates[index] if index is not None else None
-                        self._record(state, key, segment, relative, candidates, chosen, vector)
+                        self._record(state, key, frame, i, start, rel, candidates, chosen, vector)
                     else:
                         # One kernel pass over all members' stacked rows; the
                         # statistics and the mask are row-wise, so each
@@ -396,7 +426,7 @@ class SweepEngine:
                             offset = stop
                             chosen = candidates[index] if index is not None else None
                             self._record(
-                                state, key, segment, relative, candidates, chosen, vector
+                                state, key, frame, i, start, rel, candidates, chosen, vector
                             )
                     if instrument:
                         elapsed = perf_counter() - counted
@@ -413,10 +443,11 @@ class SweepEngine:
             store_counters={},
             match_counters={},
             n_segments=n_segments,
+            segments_materialized=frame.materialized,
             vector_builds=vector_builds,
             vector_builds_naive=vector_builds_naive,
         )
-        for _, states, _ in families:
+        for states, _, _ in families:
             for state in states:
                 result.reduced[state.config.key] = state.reduced
                 result.store_counters[state.config.key] = state.store.counters
@@ -428,26 +459,39 @@ class SweepEngine:
     def _record(
         state: _ConfigState,
         key,
-        segment: Segment,
-        relative: Segment,
+        frame: RankFrame,
+        index: int,
+        start: float,
+        rel: list,
         candidates,
         chosen: Optional[StoredSegment],
         vector,
     ) -> None:
-        """One config's match/store bookkeeping for one segment.
+        """One config's match/store bookkeeping for one frame row.
 
         Mirrors the tail of the serial reducer's loop exactly: record the
         execution, update the chosen representative on a match (refreshing
         its cached rows if the metric mutates it), or store the segment as a
-        new representative — seeding its vector cache with the family vector
-        so the candidate row is never rebuilt.
+        new representative — seeding its vector cache with a private copy of
+        the family row (a frame row is a view that would pin the whole group
+        matrix) and handing the row to the bucket so it is never recomputed.
+
+        ``rel`` is the caller's one-element cache of the materialized
+        normalised segment; it is only filled when some config actually
+        needs the object.
         """
         reduced = state.reduced
         if chosen is not None:
             reduced.n_matches += 1
-            reduced.execs.append((chosen.segment_id, segment.start))
+            reduced.execs.append((chosen.segment_id, start))
             reduced.exec_matched.append(True)
-            state.metric.on_match(relative, chosen)
+            if state.default_on_match:
+                chosen.count += 1
+            else:
+                relative = rel[0]
+                if relative is None:
+                    relative = rel[0] = frame.segment(index)
+                state.metric.on_match(relative, chosen)
             if state.mutates:
                 refresh = getattr(candidates, "refresh", None)
                 if refresh is not None:
@@ -456,17 +500,25 @@ class SweepEngine:
             if state.mutates:
                 # This config will rewrite the stored timestamps in place
                 # (iter_avg's running mean), so it must not share the
-                # normalised segment object with the other configs.
-                to_store = segment.relative_to_start()
+                # materialized segment object with the other configs.
+                to_store = frame.segment(index)
             else:
-                to_store = relative
+                to_store = rel[0]
+                if to_store is None:
+                    to_store = rel[0] = frame.segment(index)
             stored = StoredSegment(segment_id=state.next_id, segment=to_store)
             state.next_id += 1
             if vector is not None and not state.mutates:
-                stored.cached_vector(state.vector_key, lambda _s: vector)
-            state.store.add(key, stored)
+                row = np.array(vector)
+                stored.cached_vector(state.vector_key, lambda _s, _row=row: _row)
+                if state.add_built is not None:
+                    state.add_built(key, stored, state.metric, row)
+                else:
+                    state.store.add(key, stored)
+            else:
+                state.store.add(key, stored)
             reduced.stored.append(stored)
-            reduced.execs.append((stored.segment_id, segment.start))
+            reduced.execs.append((stored.segment_id, start))
             reduced.exec_matched.append(False)
 
     # -- whole-source reduction ----------------------------------------------------
@@ -477,8 +529,8 @@ class SweepEngine:
         name = name or source_name(source)
         with obs.span("sweep.run", dispatch="inline", configs=self.plan.n_configs):
             rank_sweeps = [
-                self.sweep_rank(rank, segments)
-                for rank, segments in rank_segment_streams(source)
+                self.sweep_rank(rank, frame)
+                for rank, frame in rank_frame_streams(source)
             ]
             return self._assemble(name, rank_sweeps, started, dispatch="inline")
 
@@ -512,6 +564,7 @@ class SweepEngine:
             n_families=self.plan.n_families,
             n_ranks=len(rank_sweeps),
             n_segments=sum(r.n_segments for r in rank_sweeps),
+            segments_materialized=sum(r.segments_materialized for r in rank_sweeps),
             vector_builds=sum(r.vector_builds for r in rank_sweeps),
             vector_builds_naive=sum(r.vector_builds_naive for r in rank_sweeps),
             total_seconds=time.perf_counter() - started,

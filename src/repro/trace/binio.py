@@ -46,6 +46,7 @@ from typing import BinaryIO, Iterable, Iterator, Optional
 import numpy as np
 
 from repro import obs
+from repro.core.frames import RankFrame
 from repro.trace.events import Event, MpiCallInfo
 from repro.trace.records import RecordKind, TraceRecord
 from repro.trace.segments import Segment, iter_segments
@@ -59,6 +60,7 @@ __all__ = [
     "RpbTraceWriter",
     "read_index",
     "rank_ids",
+    "rank_frame",
     "iter_rank_records",
     "iter_rank_segments",
     "iter_rank_record_streams_rpb",
@@ -266,19 +268,28 @@ def write_trace_rpb(trace: Trace, path: str | Path) -> None:
 def read_index(path: str | Path) -> RpbIndex:
     """Read only the footer index of an ``.rpb`` file (magic, ranges, strings).
 
-    Parsed footers are cached per ``(path, mtime, size)``: random-access
-    decoders hit the index once per rank, and re-parsing the footer JSON
-    (which holds the whole string table) would otherwise rival the column
-    decode it indexes.  Rewriting the file changes the stat key, so stale
-    entries are never served.
+    Parsed footers are cached per stat identity: random-access decoders hit
+    the index once per rank, and re-parsing the footer JSON (which holds the
+    whole string table) would otherwise rival the column decode it indexes.
+    The cache key is ``(path, mtime_ns, ctime_ns, size, inode)`` — mtime at
+    nanosecond resolution alone cannot be trusted (a same-second rewrite on a
+    coarse-timestamp filesystem, or a deliberate ``os.utime``, reproduces
+    it), so the key also pins the inode (an atomic ``os.replace`` swaps in a
+    new one) and the change time (an in-place rewrite bumps it and user code
+    cannot forge it back).  Any rewrite therefore misses the cache instead of
+    serving a stale index.
     """
     path = Path(path)
     stat = path.stat()
-    return _read_index_cached(str(path), stat.st_mtime_ns, stat.st_size)
+    return _read_index_cached(
+        str(path), stat.st_mtime_ns, stat.st_ctime_ns, stat.st_size, stat.st_ino
+    )
 
 
 @lru_cache(maxsize=64)
-def _read_index_cached(path_str: str, mtime_ns: int, size: int) -> RpbIndex:
+def _read_index_cached(
+    path_str: str, mtime_ns: int, ctime_ns: int, size: int, inode: int
+) -> RpbIndex:
     return _read_index(Path(path_str))
 
 
@@ -366,6 +377,44 @@ class _RankColumns:
                 cache[key] = info
             out[positions[row]] = info
         return out
+
+    def mpi_tables(self) -> tuple[tuple[MpiCallInfo, ...], np.ndarray]:
+        """Deduplicated MPI table plus each MPI row's id into it.
+
+        The columnar-frame form of :meth:`mpi_by_position`: the same
+        construct-once sharing, but indexed by table id (what
+        :class:`~repro.core.frames.RankFrame` stores per event) instead of
+        record position.
+        """
+        strings = self.strings
+        cache: dict[tuple, int] = {}
+        table: list[MpiCallInfo] = []
+        ops = self.mpi_op.tolist()
+        masks = self.mpi_mask.tolist()
+        vals = self.mpi_vals.tolist()
+        nbytes = self.mpi_nbytes.tolist()
+        comms = self.mpi_comm.tolist()
+        row_ids = np.empty(len(ops), dtype=np.int64)
+        for row in range(len(ops)):
+            root, peer, source, tag = vals[row]
+            key = (ops[row], masks[row], root, peer, source, tag, nbytes[row], comms[row])
+            ident = cache.get(key)
+            if ident is None:
+                mask = masks[row]
+                ident = cache[key] = len(table)
+                table.append(
+                    MpiCallInfo(
+                        op=strings[ops[row]],
+                        root=root if mask & _HAS_ROOT else None,
+                        peer=peer if mask & _HAS_PEER else None,
+                        source=source if mask & _HAS_SOURCE else None,
+                        tag=tag if mask & _HAS_TAG else None,
+                        nbytes=nbytes[row],
+                        comm=strings[comms[row]],
+                    )
+                )
+            row_ids[row] = ident
+        return tuple(table), row_ids
 
 
 def _load_columns(handle: BinaryIO, entry: RpbRankEntry, strings: tuple[str, ...]) -> _RankColumns:
@@ -551,6 +600,70 @@ def iter_rank_segments(path: str | Path, rank: int) -> Iterator[Segment]:
         yield from _segments_from_columns(columns)
     else:
         yield from segments
+
+
+def _frame_from_columns(columns: _RankColumns) -> RankFrame:
+    """Turn one decoded rank block into a columnar :class:`RankFrame`.
+
+    Pure array slicing: the same marker/event split and wholesale validation
+    as :func:`_segments_from_columns_fast`, but the timestamp and name-id
+    arrays are handed to the frame as-is — no ``Event``/``Segment`` objects
+    are built.  A malformed rank falls back through the record-by-record
+    state machine (raising the precise error) and the segments→frame adapter.
+    """
+    kinds = columns.kind
+    begin_pos = np.flatnonzero(kinds == _KIND_SEGMENT_BEGIN)
+    end_pos = np.flatnonzero(kinds == _KIND_SEGMENT_END)
+    enter_pos = np.flatnonzero(kinds == _KIND_ENTER)
+    exit_pos = np.flatnonzero(kinds == _KIND_EXIT)
+    if len(enter_pos) and len(begin_pos):
+        event_seg = np.searchsorted(begin_pos, enter_pos, side="right") - 1
+    else:
+        event_seg = np.empty(0, dtype=np.int64)
+    if not _columns_well_formed(
+        kinds, columns.name, begin_pos, end_pos, enter_pos, exit_pos, event_seg
+    ):
+        return RankFrame.from_segments(columns.rank, _segments_from_columns(columns))
+
+    ev_mpi = np.full(len(enter_pos), -1, dtype=np.int64)
+    mpi_table: tuple[MpiCallInfo, ...] = ()
+    if len(columns.mpi_pos) and len(enter_pos):
+        mpi_table, row_ids = columns.mpi_tables()
+        # MPI rows are keyed by record position (sorted by construction);
+        # events carry the MPI info of their ENTER record, if any.
+        loc = np.minimum(
+            np.searchsorted(columns.mpi_pos, enter_pos), len(columns.mpi_pos) - 1
+        )
+        hit = columns.mpi_pos[loc] == enter_pos
+        ev_mpi[hit] = row_ids[loc[hit]]
+    counts = np.bincount(event_seg, minlength=len(begin_pos))
+    ev_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return RankFrame(
+        rank=columns.rank,
+        contexts=columns.name[begin_pos].astype(np.int64),
+        starts=columns.time[begin_pos],
+        ends=columns.time[end_pos],
+        ev_offsets=ev_offsets,
+        ev_names=columns.name[enter_pos].astype(np.int64),
+        ev_starts=columns.time[enter_pos],
+        ev_ends=columns.time[exit_pos],
+        ev_mpi=ev_mpi,
+        strings=columns.strings,
+        mpi_table=mpi_table,
+    )
+
+
+def rank_frame(path: str | Path, rank: int) -> RankFrame:
+    """Decode one rank of an ``.rpb`` file straight into a columnar frame.
+
+    The columnar hot path's entry point: column blocks become a
+    :class:`~repro.core.frames.RankFrame` without materializing a single
+    ``Segment``; :func:`iter_rank_segments` remains the decode-to-segments
+    path (and the byte-identity oracle).
+    """
+    path = Path(path)
+    with obs.span("columnar.decode", rank=rank, source="rpb"):
+        return _frame_from_columns(_read_rank_columns(path, rank))
 
 
 def iter_rank_record_streams_rpb(

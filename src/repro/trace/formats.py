@@ -26,9 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Protocol, Tuple
 
 from repro.trace import binio
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.frames import RankFrame
 from repro.trace import io as textio
 from repro.trace.records import TraceRecord
 from repro.trace.segments import Segment
@@ -78,6 +81,10 @@ class TraceFormat:
     rank_ids: Optional[Callable[[Path], list[int]]] = None
     rank_records: Optional[Callable[[Path, int], Iterator[TraceRecord]]] = None
     rank_segments: Optional[Callable[[Path, int], Iterator[Segment]]] = None
+    #: Decode one rank straight into a columnar ``RankFrame`` (no Segment
+    #: objects); only formats whose on-disk layout is already columnar
+    #: provide it — others reach the frame path via the segments adapter.
+    rank_frame: Optional[Callable[[Path, int], "RankFrame"]] = None
 
     @property
     def is_indexed(self) -> bool:
@@ -205,5 +212,6 @@ register_format(
         rank_ids=binio.rank_ids,
         rank_records=binio.iter_rank_records,
         rank_segments=binio.iter_rank_segments,
+        rank_frame=binio.rank_frame,
     )
 )

@@ -197,3 +197,103 @@ class TestCorruptFiles:
         rpb_path.write_bytes(bytes(data))
         with pytest.raises(binio.RpbFormatError, match="footer offset"):
             binio.read_index(rpb_path)
+
+
+class TestIndexCacheFreshness:
+    """The footer-index cache must never serve a stale index.
+
+    A parsed footer is cached per stat identity; these tests rewrite a file
+    so that the *lazy* parts of the stat key (size, mtime) are unchanged and
+    assert the finer fields (inode, ctime) still force a fresh parse.  The
+    two fixture traces differ only in an event name of equal length, so the
+    files are byte-for-byte the same size but their footer string tables —
+    exactly what the cache holds — differ.
+    """
+
+    @staticmethod
+    def _trace(event_name: str) -> Trace:
+        records = [
+            TraceRecord(kind=RecordKind.SEGMENT_BEGIN, rank=0, timestamp=0.0, name="s"),
+            TraceRecord(kind=RecordKind.ENTER, rank=0, timestamp=1.0, name=event_name),
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=2.0, name=event_name),
+            TraceRecord(kind=RecordKind.SEGMENT_END, rank=0, timestamp=3.0, name="s"),
+        ]
+        return Trace(name="t", ranks=[RankTrace(rank=0, records=records)])
+
+    def _event_name(self, path) -> str:
+        (segment,) = list(binio.iter_rank_segments(path, 0))
+        (event,) = segment.events
+        return event.name
+
+    def test_unchanged_file_hits_cache(self, rpb_path):
+        assert binio.read_index(rpb_path) is binio.read_index(rpb_path)
+
+    def test_same_second_replace_is_not_stale(self, tmp_path):
+        import os
+
+        a = tmp_path / "a.rpb"
+        b = tmp_path / "b.rpb"
+        binio.write_trace_rpb(self._trace("fff"), a)
+        binio.write_trace_rpb(self._trace("ggg"), b)
+        assert a.stat().st_size == b.stat().st_size
+        stat = a.stat()
+        assert self._event_name(a) == "fff"  # warm the cache
+        os.replace(b, a)
+        # forge the mtime back so (path, size, mtime) alone would collide;
+        # the new inode must still miss the cache
+        os.utime(a, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert a.stat().st_mtime_ns == stat.st_mtime_ns
+        assert self._event_name(a) == "ggg"
+
+    def test_in_place_rewrite_with_forged_mtime_is_not_stale(self, tmp_path):
+        import os
+        import time
+
+        a = tmp_path / "a.rpb"
+        b = tmp_path / "b.rpb"
+        binio.write_trace_rpb(self._trace("fff"), a)
+        binio.write_trace_rpb(self._trace("ggg"), b)
+        stat = a.stat()
+        assert self._event_name(a) == "fff"  # warm the cache
+        time.sleep(0.05)  # ensure the rewrite lands on a later ctime tick
+        with a.open("r+b") as handle:
+            handle.write(b.read_bytes())
+        os.utime(a, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        after = a.stat()
+        assert after.st_mtime_ns == stat.st_mtime_ns
+        assert after.st_size == stat.st_size
+        assert after.st_ino == stat.st_ino
+        # same path, size, mtime, and inode: only the change time differs,
+        # and it alone must invalidate the cache
+        assert self._event_name(a) == "ggg"
+
+
+class TestRankFrameDecoder:
+    def test_frame_matches_segment_decoder_bitwise(self, small_trace, rpb_path):
+        for rank_trace in small_trace.ranks:
+            frame = binio.rank_frame(rpb_path, rank_trace.rank)
+            reference = list(binio.iter_rank_segments(rpb_path, rank_trace.rank))
+            assert frame.n_segments == len(reference)
+            assert frame.materialized == 0  # decode builds no Segment objects
+            for i, expected in enumerate(reference):
+                built = frame.segment(i)
+                relative = expected.relative_to_start()
+                assert built.context == relative.context
+                assert built.index == relative.index
+                assert [t.hex() for t in built.timestamps()] == [
+                    t.hex() for t in relative.timestamps()
+                ]
+                assert [e.structure() for e in built.events] == [
+                    e.structure() for e in relative.events
+                ]
+
+    def test_malformed_rank_raises_same_error(self, tmp_path):
+        records = [
+            TraceRecord(kind=RecordKind.SEGMENT_BEGIN, rank=0, timestamp=0.0, name="s"),
+            TraceRecord(kind=RecordKind.EXIT, rank=0, timestamp=1.0, name="f"),
+            TraceRecord(kind=RecordKind.SEGMENT_END, rank=0, timestamp=2.0, name="s"),
+        ]
+        path = tmp_path / "bad.rpb"
+        binio.write_trace_rpb(Trace(name="t", ranks=[RankTrace(rank=0, records=records)]), path)
+        with pytest.raises(SegmentationError, match="without an enter"):
+            binio.rank_frame(path, 0)
