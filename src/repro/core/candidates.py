@@ -16,6 +16,15 @@ owning metric asks for (canonical pairwise timestamps, the Minkowski layout,
 or pre-transformed wavelet coefficients) — the vectors themselves are cached
 on the :class:`StoredSegment` and invalidated when ``iter_avg`` mutates the
 stored timestamps.
+
+Alongside the matrix, the bucket maintains one scalar *pruning summary* per
+row (the metric's ``row_summary`` hook: a p-norm for the Minkowski family, a
+coefficient norm for the wavelet metrics, a max-magnitude extremum for the
+pairwise family).  The summaries feed the metrics' ``prune_mask`` necessary
+condition, so a probe can discard most of a deep bucket with O(rows) work
+before the exact kernel runs on the few survivors; the columns are kept
+consistent through append, direct-row append, eviction compaction, and
+``iter_avg`` refreshes, exactly like the scale cache.
 """
 
 from __future__ import annotations
@@ -53,11 +62,18 @@ class MatchCounters:
     ``calls`` counts invocations of the matching step (one per segment that
     had at least one candidate), ``rows_compared`` the total candidate rows
     those calls evaluated, and ``seconds`` their accumulated wall time.
+    ``rows_pruned`` counts candidate rows the pruning prefilter discarded
+    before the exact kernel ran (a subset of ``rows_compared``), and
+    ``blocks_evaluated`` the insertion-order blocks the blocked early-exit
+    probe actually touched — together they show how much of each bucket the
+    exact kernel never had to see.
     """
 
     calls: int = 0
     rows_compared: int = 0
     seconds: float = 0.0
+    rows_pruned: int = 0
+    blocks_evaluated: int = 0
 
     def merged_with(self, other: "MatchCounters") -> "MatchCounters":
         """Combine counters from two reductions (used to aggregate across ranks)."""
@@ -65,12 +81,19 @@ class MatchCounters:
             calls=self.calls + other.calls,
             rows_compared=self.rows_compared + other.rows_compared,
             seconds=self.seconds + other.seconds,
+            rows_pruned=self.rows_pruned + other.rows_pruned,
+            blocks_evaluated=self.blocks_evaluated + other.blocks_evaluated,
         )
 
     @property
     def rows_per_call(self) -> float:
         """Mean candidate-list depth seen by the kernel."""
         return self.rows_compared / self.calls if self.calls else 0.0
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of compared rows the prefilter discarded."""
+        return self.rows_pruned / self.rows_compared if self.rows_compared else 0.0
 
     def record_to(self, registry) -> None:
         """Record these counters into an ``obs`` metrics registry.
@@ -81,6 +104,8 @@ class MatchCounters:
         registry.inc("match.kernel_calls", self.calls)
         registry.inc("match.kernel_rows", self.rows_compared)
         registry.inc("match.kernel_seconds", self.seconds)
+        registry.inc("match.rows_pruned", self.rows_pruned)
+        registry.inc("match.blocks_evaluated", self.blocks_evaluated)
 
 
 class CandidateList:
@@ -94,7 +119,15 @@ class CandidateList:
     a bounded store evicts leading entries.
     """
 
-    __slots__ = ("_entries", "_owner", "_matrix", "_scales", "_built", "_views")
+    __slots__ = (
+        "_entries",
+        "_owner",
+        "_matrix",
+        "_scales",
+        "_summaries",
+        "_built",
+        "_views",
+    )
 
     #: Minimum row capacity allocated for a new matrix.
     MIN_CAPACITY = 4
@@ -104,8 +137,9 @@ class CandidateList:
         self._owner = None  # metric the matrix rows belong to
         self._matrix: Optional[np.ndarray] = None
         self._scales: Optional[np.ndarray] = None  # per-row scale cache
+        self._summaries: Optional[np.ndarray] = None  # per-row pruning summary
         self._built = 0  # entries materialized into the matrix so far
-        self._views = None  # cached (matrix[:n], scales[:n]) result pair
+        self._views = None  # cached (matrix[:n], scales[:n], summaries[:n])
 
     # -- sequence protocol (what the legacy scan path sees) -------------------
 
@@ -159,6 +193,8 @@ class CandidateList:
                 matrix = self._matrix = np.zeros((capacity, row.size), dtype=float)
                 if metric.row_scale is not None:
                     self._scales = np.zeros(capacity, dtype=float)
+                if metric.row_summary is not None:
+                    self._summaries = np.zeros(capacity, dtype=float)
             elif n >= matrix.shape[0]:
                 grown = np.zeros((matrix.shape[0] * 2, matrix.shape[1]), dtype=float)
                 grown[:n] = matrix[:n]
@@ -167,9 +203,15 @@ class CandidateList:
                     scales = np.zeros(grown.shape[0], dtype=float)
                     scales[:n] = self._scales[:n]
                     self._scales = scales
+                if self._summaries is not None:
+                    summaries = np.zeros(grown.shape[0], dtype=float)
+                    summaries[:n] = self._summaries[:n]
+                    self._summaries = summaries
             matrix[n] = row
             if self._scales is not None:
                 self._scales[n] = metric.row_scale(row)
+            if self._summaries is not None:
+                self._summaries[n] = metric.row_summary(row)
             self._built = n + 1
         self._entries.append(stored)
         self._views = None
@@ -191,6 +233,8 @@ class CandidateList:
                 self._matrix[:surviving] = self._matrix[n : n + surviving].copy()
                 if self._scales is not None:
                     self._scales[:surviving] = self._scales[n : n + surviving].copy()
+                if self._summaries is not None:
+                    self._summaries[:surviving] = self._summaries[n : n + surviving].copy()
             self._built = surviving
 
     def refresh(self, stored: "StoredSegment") -> None:
@@ -211,6 +255,8 @@ class CandidateList:
             self._matrix[index] = row
             if self._scales is not None:
                 self._scales[index] = self._owner.row_scale(row)
+            if self._summaries is not None:
+                self._summaries[index] = self._owner.row_summary(row)
 
     # -- the matrix ------------------------------------------------------------
 
@@ -240,10 +286,27 @@ class CandidateList:
         ``iter_avg`` mutations don't invalidate it; the views alias the
         refreshed buffer.
         """
+        views = self._views
+        if views is not None and metric is self._owner:
+            return views[0], views[1]
+        return self.matrix_scales_summaries(metric)[:2]
+
+    def matrix_scales_summaries(
+        self, metric
+    ) -> tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Matrix, scale vector, and per-row pruning summaries for ``metric``.
+
+        The summary column (present when the metric declares a ``row_summary``
+        hook) carries one scalar bound per row — a norm or extremum of the row
+        — computed once at build time, exactly like the scale cache.  It feeds
+        the metric's ``prune_stats`` prefilter, which is what lets a probe
+        discard most of a deep bucket before the exact kernel runs.
+        """
         if metric is not self._owner:
             self._owner = metric
             self._matrix = None
             self._scales = None
+            self._summaries = None
             self._built = 0
             self._views = None
         elif self._views is not None:
@@ -259,6 +322,8 @@ class CandidateList:
                 matrix = self._matrix = np.zeros((capacity, row.size), dtype=float)
                 if metric.row_scale is not None:
                     self._scales = np.zeros(capacity, dtype=float)
+                if metric.row_summary is not None:
+                    self._summaries = np.zeros(capacity, dtype=float)
             elif self._built >= matrix.shape[0]:
                 grown = np.zeros((matrix.shape[0] * 2, matrix.shape[1]), dtype=float)
                 grown[: self._built] = matrix[: self._built]
@@ -267,13 +332,20 @@ class CandidateList:
                     scales = np.zeros(grown.shape[0], dtype=float)
                     scales[: self._built] = self._scales[: self._built]
                     self._scales = scales
+                if self._summaries is not None:
+                    summaries = np.zeros(grown.shape[0], dtype=float)
+                    summaries[: self._built] = self._summaries[: self._built]
+                    self._summaries = summaries
             matrix[self._built] = row
             if self._scales is not None:
                 self._scales[self._built] = metric.row_scale(row)
+            if self._summaries is not None:
+                self._summaries[self._built] = metric.row_summary(row)
             self._built += 1
         if self._matrix is None:
             # No entries yet: an empty matrix with unknown width.
-            return np.zeros((0, 0), dtype=float), None
+            return np.zeros((0, 0), dtype=float), None, None
         scales = self._scales[:n] if self._scales is not None else None
-        self._views = (self._matrix[:n], scales)
+        summaries = self._summaries[:n] if self._summaries is not None else None
+        self._views = (self._matrix[:n], scales, summaries)
         return self._views

@@ -10,10 +10,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.metrics.base import DistanceMetric
+from repro.core.metrics.base import PRUNE_EPS, PRUNE_TINY, DistanceMetric
 from repro.trace.segments import Segment
 
 __all__ = ["RelDiff", "AbsDiff", "relative_differences"]
+
+
+def _max_magnitude(vector: np.ndarray) -> float:
+    """Pruning summary of one pairwise row: its largest magnitude."""
+    return float(np.abs(vector).max(initial=0.0))
 
 
 def relative_differences(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -53,6 +58,12 @@ class RelDiff(DistanceMetric):
         rel = relative_differences(new_ts, stored_ts)
         return bool(np.all(rel <= self.threshold))
 
+    def match_one(self, vector: np.ndarray, row: np.ndarray) -> bool:
+        # max(rel) <= t decides identically to all(rel <= t): the values are
+        # finite and non-negative (see match_stats).
+        rel = relative_differences(vector, row)
+        return rel.max(initial=0.0) <= self.threshold
+
     def match_stats(
         self,
         vector: np.ndarray,
@@ -66,6 +77,24 @@ class RelDiff(DistanceMetric):
         # bit-identical to the scalar scan.
         rel = relative_differences(matrix, vector)
         return rel.max(axis=1, initial=0.0), None
+
+    def row_summary(self, vector: np.ndarray) -> float:
+        return _max_magnitude(vector)
+
+    def prune_stats(
+        self,
+        vector: np.ndarray,
+        summaries: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        # Necessary condition from the extrema alone.  With Mx = max|x|,
+        # Mr = max|r| and (wlog) Mx >= Mr, at k* = argmax|x_k|:
+        # Mx - Mr <= |x_k*| - |r_k*| <= |x_k* - r_k*| <= t*max(|x_k*|,|r_k*|)
+        # <= t*max(Mx, Mr); so a match requires |Mx - Mr| <= t*max(Mx, Mr).
+        probe = _max_magnitude(vector)
+        stat = np.abs(summaries - probe)
+        stat -= (summaries + probe) * PRUNE_EPS + PRUNE_TINY
+        return stat, np.maximum(summaries, probe)
 
 
 class AbsDiff(DistanceMetric):
@@ -87,6 +116,12 @@ class AbsDiff(DistanceMetric):
     ) -> bool:
         return bool(np.all(np.abs(new_ts - stored_ts) <= self.threshold))
 
+    def match_one(self, vector: np.ndarray, row: np.ndarray) -> bool:
+        # max(|d|) <= t decides identically to all(|d| <= t) on finite values;
+        # the ndarray.max method skips the np.all dispatch wrapper, which is
+        # most of a depth-one probe's kernel cost.
+        return np.abs(row - vector).max(initial=0.0) <= self.threshold
+
     def match_stats(
         self,
         vector: np.ndarray,
@@ -97,3 +132,19 @@ class AbsDiff(DistanceMetric):
         # the row within threshold"; values are finite, so max() and all()
         # decide identically.
         return np.abs(matrix - vector).max(axis=1, initial=0.0), None
+
+    def row_summary(self, vector: np.ndarray) -> float:
+        return _max_magnitude(vector)
+
+    def prune_stats(
+        self,
+        vector: np.ndarray,
+        summaries: np.ndarray,
+        row_scales: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        # Same extremum argument with a unit base: every |x_k - r_k| <= t
+        # forces |max|x| - max|r|| <= t.
+        probe = _max_magnitude(vector)
+        stat = np.abs(summaries - probe)
+        stat -= (summaries + probe) * PRUNE_EPS + PRUNE_TINY
+        return stat, None

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.candidates import CandidateList, MatchCounters
-from repro.core.metrics.base import DistanceMetric, SimilarityMetric
+from repro.core.metrics.base import FIRST_BLOCK, DistanceMetric, SimilarityMetric
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
 from repro.trace.segments import Segment
 from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
@@ -95,19 +95,24 @@ class TraceReducer:
     ranks and traces.
 
     ``batch=True`` (the default) routes candidate matching through the
-    metric's vectorized ``match_batch`` kernel whenever the store's buckets
-    carry a row matrix; ``batch=False`` forces the legacy per-candidate scan.
-    Both produce byte-identical reduced traces — the flag exists so the scan
-    can serve as a benchmark baseline and an equivalence oracle.
+    metric's vectorized kernels whenever the store's buckets carry a row
+    matrix; ``batch=False`` forces the legacy per-candidate scan.  On the
+    batched path ``prune=True`` (the default) additionally runs the blocked
+    early-exit probe with the metric's norm-bound prefilter, so the exact
+    kernel only sees prefilter survivors; ``prune=False`` keeps the dense
+    one-shot ``match_batch`` kernel.  All three produce byte-identical
+    reduced traces — the flags exist so the scan and the dense kernel can
+    serve as benchmark baselines and equivalence oracles.
     """
 
-    def __init__(self, metric: SimilarityMetric, *, batch: bool = True):
+    def __init__(self, metric: SimilarityMetric, *, batch: bool = True, prune: bool = True):
         if not isinstance(metric, SimilarityMetric):
             raise TypeError(
                 f"metric must be a SimilarityMetric, got {type(metric).__name__}"
             )
         self.metric = metric
         self.batch = bool(batch)
+        self.prune = bool(prune)
 
     # -- per-rank reduction ---------------------------------------------------
 
@@ -138,7 +143,9 @@ class TraceReducer:
             store = _InlineStore()
         next_id = 0
         metric = self.metric
-        matcher = metric.match_candidates if self.batch else metric.match
+        batched = self.batch
+        prune = self.prune
+        matcher = metric.match_candidates if batched else metric.match
         mutates = metric.mutates_stored
         perf_counter = time.perf_counter
 
@@ -151,10 +158,16 @@ class TraceReducer:
             if candidates:
                 reduced.n_possible_matches += 1
                 if match_counters is None:
-                    chosen = matcher(relative, candidates)
+                    if batched:
+                        chosen = matcher(relative, candidates, prune=prune)
+                    else:
+                        chosen = matcher(relative, candidates)
                 else:
                     started = perf_counter()
-                    chosen = matcher(relative, candidates)
+                    if batched:
+                        chosen = matcher(relative, candidates, match_counters, prune=prune)
+                    else:
+                        chosen = matcher(relative, candidates)
                     match_counters.seconds += perf_counter() - started
                     match_counters.calls += 1
                     match_counters.rows_compared += len(candidates)
@@ -222,6 +235,7 @@ class TraceReducer:
         vector_key = metric.vector_key()
         add_built = getattr(store, "add_built", None)
         perf_counter = time.perf_counter
+        prune = self.prune
         next_id = 0
 
         for i in range(frame.n_segments):
@@ -232,10 +246,14 @@ class TraceReducer:
             if candidates:
                 reduced.n_possible_matches += 1
                 if match_counters is None:
-                    chosen = self._match_frame_row(metric, frame, i, vector, candidates)
+                    chosen = self._match_frame_row(
+                        metric, frame, i, vector, candidates, None, prune
+                    )
                 else:
                     started = perf_counter()
-                    chosen = self._match_frame_row(metric, frame, i, vector, candidates)
+                    chosen = self._match_frame_row(
+                        metric, frame, i, vector, candidates, match_counters, prune
+                    )
                     match_counters.seconds += perf_counter() - started
                     match_counters.calls += 1
                     match_counters.rows_compared += len(candidates)
@@ -271,12 +289,27 @@ class TraceReducer:
                 reduced.exec_matched.append(False)
 
     @staticmethod
-    def _match_frame_row(metric, frame, i, vector, candidates):
+    def _match_frame_row(metric, frame, i, vector, candidates, counters=None, prune=True):
         """Batched probe of one frame row against a candidate bucket."""
         if isinstance(candidates, CandidateList):
+            if prune and len(candidates) > FIRST_BLOCK:
+                matrix, scales, summaries = candidates.matrix_scales_summaries(metric)
+                index = metric.match_pruned(vector, matrix, scales, summaries, counters)
+                return candidates[index] if index is not None else None
+            # Shallow buckets bypass the pruning machinery entirely (see
+            # DistanceMetric.match_candidates): the dense kernel, inline.
             matrix, scales = candidates.matrix_and_scales(metric)
-            index = metric.match_batch(vector, matrix, scales)
-            return candidates[index] if index is not None else None
+            if matrix.shape[0] == 1 and metric.match_one is not None:
+                # Depth-one fast path (see DistanceMetric.match_candidates).
+                entry = candidates[0]
+                return entry if metric.match_one(vector, matrix[0]) else None
+            stat, base = metric.match_stats(vector, matrix, scales)
+            mask = stat <= (metric.threshold if base is None else metric.threshold * base)
+            if mask.size:
+                index = mask.argmax()
+                if mask[index]:
+                    return candidates[int(index)]
+            return None
         # A custom store without CandidateList buckets: scan semantics need
         # the segment itself.
         return metric.match_candidates(frame.segment(i), candidates)
@@ -295,7 +328,9 @@ class TraceReducer:
         exactly what :meth:`reduce_segments` did.
         """
         metric = self.metric
-        matcher = metric.match_candidates if self.batch else metric.match
+        batched = self.batch
+        prune = self.prune
+        matcher = metric.match_candidates if batched else metric.match
         mutates = metric.mutates_stored
         keys = frame.structural_keys()
         starts = frame.starts_list()
@@ -309,10 +344,16 @@ class TraceReducer:
             if candidates:
                 reduced.n_possible_matches += 1
                 if match_counters is None:
-                    chosen = matcher(relative, candidates)
+                    if batched:
+                        chosen = matcher(relative, candidates, prune=prune)
+                    else:
+                        chosen = matcher(relative, candidates)
                 else:
                     started = perf_counter()
-                    chosen = matcher(relative, candidates)
+                    if batched:
+                        chosen = matcher(relative, candidates, match_counters, prune=prune)
+                    else:
+                        chosen = matcher(relative, candidates)
                     match_counters.seconds += perf_counter() - started
                     match_counters.calls += 1
                     match_counters.rows_compared += len(candidates)
@@ -338,12 +379,37 @@ class TraceReducer:
     def reduce(
         self, trace: SegmentedTrace, *, match_counters: Optional[MatchCounters] = None
     ) -> ReducedTrace:
-        """Reduce every rank of ``trace`` independently (intra-process reduction)."""
-        return self.reduce_streams(
-            trace.name,
-            ((rank.rank, rank.segments) for rank in trace.ranks),
-            match_counters=match_counters,
+        """Reduce every rank of ``trace`` independently (intra-process reduction).
+
+        Frame-backed ranks (a :class:`~repro.core.frametrace.FrameTrace`)
+        route through :meth:`reduce_frame`, so their segments are never
+        materialized just to be re-normalised; segment-list ranks take
+        :meth:`reduce_segments` as before.  Both produce byte-identical
+        reduced traces.
+        """
+        reduced = ReducedTrace(
+            name=trace.name,
+            method=self.metric.name,
+            threshold=self.metric.threshold,
         )
+        for rank_trace in trace.ranks:
+            frame = getattr(rank_trace, "frame", None)
+            # Span per rank, not per segment: the segment loop is the match
+            # kernel's hot path and must stay telemetry-free.
+            with obs.span("rank.reduce", rank=rank_trace.rank):
+                if frame is not None:
+                    reduced.ranks.append(
+                        self.reduce_frame(frame, match_counters=match_counters)
+                    )
+                else:
+                    reduced.ranks.append(
+                        self.reduce_segments(
+                            rank_trace.segments,
+                            rank=rank_trace.rank,
+                            match_counters=match_counters,
+                        )
+                    )
+        return reduced
 
     def reduce_streams(
         self,

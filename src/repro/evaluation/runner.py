@@ -17,6 +17,7 @@ from repro.analysis.compare import ComparisonOptions, TrendComparison
 from repro.analysis.expert import analyze
 from repro.analysis.report import DiagnosisReport
 from repro.benchmarks_ats.base import Workload
+from repro.core.frametrace import FrameTrace
 from repro.core.metrics import create_metric
 from repro.core.metrics.base import SimilarityMetric
 from repro.core.reconstruct import reconstruct
@@ -24,7 +25,7 @@ from repro.core.reduced import ReducedTrace
 from repro.core.reducer import TraceReducer
 from repro.pipeline.engine import PipelineConfig, ReductionPipeline
 from repro.evaluation.approximation import approximation_distance
-from repro.evaluation.filesize import full_trace_bytes
+from repro.evaluation.filesize import full_trace_bytes, full_trace_bytes_from_file
 from repro.evaluation.trends import retains_trends
 from repro.trace.trace import SegmentedTrace
 
@@ -73,7 +74,7 @@ class PreparedWorkload:
     """A workload's shared evaluation artefacts (simulate + segment + analyze once)."""
 
     name: str
-    segmented: SegmentedTrace
+    segmented: SegmentedTrace | FrameTrace
     full_bytes: int
     full_report: DiagnosisReport
     workload: Optional[Workload] = None
@@ -102,14 +103,23 @@ class PreparedWorkload:
         The four criteria are format-independent: ``full_bytes`` is the
         text-equivalent serialization either way, so evaluating a trace and
         evaluating its converted twin produce identical results.
+
+        The file decodes straight into columnar frames
+        (:class:`~repro.core.frametrace.FrameTrace`): the full-trace analysis
+        and the criteria read the columns directly, the reducers take their
+        frame paths, and ``full_bytes`` streams off the file — segment
+        objects are only materialized for stored representatives.
         """
         from pathlib import Path
 
-        from repro.trace.io import read_trace
-
         path = Path(path)
-        trace = read_trace(path)
-        return cls.from_segmented(name or path.stem, trace.segmented())
+        trace = FrameTrace.from_file(path, name=name)
+        return cls(
+            name=trace.name,
+            segmented=trace,
+            full_bytes=full_trace_bytes_from_file(path),
+            full_report=analyze(trace),
+        )
 
 
 def evaluate_method(

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from repro.core.frames import RankFrame
+from repro.core.frametrace import FrameTrace
 from repro.trace.formats import resolve_format
 from repro.trace.segments import Segment, iter_segments
 from repro.trace.trace import SegmentedTrace, Trace
@@ -40,7 +41,7 @@ __all__ = [
 ]
 
 #: Anything the pipeline can ingest.
-SegmentSource = Union[SegmentedTrace, Trace, str, Path]
+SegmentSource = Union[SegmentedTrace, FrameTrace, Trace, str, Path]
 
 
 def indexed_source_ranks(source: SegmentSource) -> Optional[list[int]]:
@@ -96,6 +97,11 @@ def rank_frame_streams(source: SegmentSource) -> Iterator[Tuple[int, RankFrame]]
     :meth:`RankFrame.from_segments` — so every engine runs one code path
     regardless of where the trace lives.
     """
+    if isinstance(source, FrameTrace):
+        # Already columnar: hand the frames over as-is (no adapter pass).
+        for rank_trace in source.ranks:
+            yield rank_trace.rank, rank_trace.frame
+        return
     if isinstance(source, (str, Path)):
         path = Path(source)
         fmt = resolve_format(path)
@@ -117,10 +123,11 @@ def rank_segment_streams(
     before advancing to the next pair; indexed file sources have no such
     constraint.
     """
-    if isinstance(source, SegmentedTrace):
+    if isinstance(source, (SegmentedTrace, FrameTrace)):
         for rank_trace in source.ranks:
-            # Already materialized: yield the list itself so consumers that
-            # need a sequence (the pooled engine path) need not copy it.
+            # Already materialized (or materializable on access for frame
+            # traces): yield the list itself so consumers that need a
+            # sequence (the pooled engine path) need not copy it.
             yield rank_trace.rank, rank_trace.segments
     elif isinstance(source, Trace):
         for rank_trace in source.ranks:
@@ -143,6 +150,6 @@ def rank_segment_streams(
 
 def source_name(source: SegmentSource) -> str:
     """Best-effort trace name for a source (file stem for paths)."""
-    if isinstance(source, (SegmentedTrace, Trace)):
+    if isinstance(source, (SegmentedTrace, FrameTrace, Trace)):
         return source.name
     return Path(source).stem

@@ -44,7 +44,12 @@ import numpy as np
 from repro import obs
 from repro.core.candidates import CandidateList, MatchCounters, first_match_index
 from repro.core.frames import InternedKey, RankFrame
-from repro.core.metrics.base import SimilarityMetric
+from repro.core.metrics.base import (
+    PRUNE_FALLBACK_DENOM,
+    PRUNE_MIN_ROWS,
+    PRUNE_REL,
+    SimilarityMetric,
+)
 from repro.core.reduced import ReducedRankTrace, ReducedTrace, StoredSegment
 from repro.pipeline.store import StoreCounters, create_store
 from repro.pipeline.stream import (
@@ -261,12 +266,14 @@ class SweepEngine:
         *,
         store_capacity: Optional[int] = None,
         instrument: bool = False,
+        prune: bool = True,
     ) -> None:
         if not isinstance(plan, SweepPlan):
             plan = SweepPlan(plan)
         self.plan = plan
         self.store_capacity = store_capacity
         self.instrument = instrument
+        self.prune = bool(prune)
 
     # -- per-rank reduction ------------------------------------------------------
 
@@ -287,6 +294,7 @@ class SweepEngine:
 
     def _sweep_rank(self, frame: RankFrame) -> _RankSweep:
         instrument = self.instrument
+        prune = self.prune
         capacity = self.store_capacity
         rank = frame.rank
         n_segments = frame.n_segments
@@ -333,7 +341,6 @@ class SweepEngine:
         keys = frame.structural_keys()
         starts = frame.starts_list()
         perf_counter = time.perf_counter
-        concatenate = np.concatenate
 
         for i in range(n_segments):
             key = keys[i]
@@ -376,8 +383,12 @@ class SweepEngine:
                         if candidates:
                             state.reduced.n_possible_matches += 1
                             if isinstance(candidates, CandidateList):
-                                matrix, scales = candidates.matrix_and_scales(state.metric)
-                                participants.append((state, candidates, matrix, scales))
+                                matrix, scales, summaries = (
+                                    candidates.matrix_scales_summaries(state.metric)
+                                )
+                                participants.append(
+                                    (state, candidates, matrix, scales, summaries)
+                                )
                             else:  # pragma: no cover - stores always bucket
                                 relative = rel[0]
                                 if relative is None:
@@ -394,44 +405,32 @@ class SweepEngine:
                         continue
                     counted = perf_counter() if instrument else 0.0
                     if len(participants) == 1:
-                        state, candidates, matrix, scales = participants[0]
-                        index = state.metric.match_batch(vector, matrix, scales)
+                        state, candidates, matrix, scales, summaries = participants[0]
+                        if prune:
+                            index = state.metric.match_pruned(
+                                vector, matrix, scales, summaries, state.match_counters
+                            )
+                        else:
+                            index = state.metric.match_batch(vector, matrix, scales)
                         chosen = candidates[index] if index is not None else None
                         self._record(state, key, frame, i, start, rel, candidates, chosen, vector)
                     else:
-                        # One kernel pass over all members' stacked rows; the
-                        # statistics and the mask are row-wise, so each
-                        # member's slice is bitwise what its own match_batch
-                        # would compute.  Thresholds enter as one repeated
-                        # row-multiplier instead of a multiply per member.
-                        counts = [p[2].shape[0] for p in participants]
-                        stacked = concatenate([p[2] for p in participants])
-                        if participants[0][3] is not None:
-                            stacked_scales = concatenate([p[3] for p in participants])
-                        else:
-                            stacked_scales = None
-                        stat, base = participants[0][0].metric.match_stats(
-                            vector, stacked, stacked_scales
+                        self._match_stacked(
+                            participants,
+                            kind_states,
+                            kind_thresholds,
+                            vector,
+                            prune,
+                            key,
+                            frame,
+                            i,
+                            start,
+                            rel,
                         )
-                        if len(participants) == len(kind_states):
-                            thresholds = kind_thresholds
-                        else:
-                            thresholds = np.array([p[0].threshold for p in participants])
-                        per_row = np.repeat(thresholds, counts)
-                        mask = stat <= (per_row if base is None else per_row * base)
-                        offset = 0
-                        for (state, candidates, _, _), count in zip(participants, counts):
-                            stop = offset + count
-                            index = first_match_index(mask[offset:stop])
-                            offset = stop
-                            chosen = candidates[index] if index is not None else None
-                            self._record(
-                                state, key, frame, i, start, rel, candidates, chosen, vector
-                            )
                     if instrument:
                         elapsed = perf_counter() - counted
                         share = elapsed / len(participants)
-                        for state, candidates, _, _ in participants:
+                        for state, candidates, _, _, _ in participants:
                             counters = state.match_counters
                             counters.seconds += share
                             counters.calls += 1
@@ -454,6 +453,99 @@ class SweepEngine:
                 if state.match_counters is not None:
                     result.match_counters[state.config.key] = state.match_counters
         return result
+
+    def _match_stacked(
+        self,
+        participants: list,
+        kind_states: list[_ConfigState],
+        kind_thresholds: np.ndarray,
+        vector: np.ndarray,
+        prune: bool,
+        key,
+        frame: RankFrame,
+        i: int,
+        start: float,
+        rel: list,
+    ) -> None:
+        """One kernel pass over several members' stacked candidate rows.
+
+        The statistics and the masks are row-wise, so each member's slice is
+        bitwise what its own solo kernel would compute; thresholds enter as
+        one repeated row-multiplier instead of a multiply per member.  With
+        pruning, the family's prefilter runs *once* over the stacked summary
+        columns — each row's prune limit carries its own member's threshold,
+        so survivors are shared across the whole threshold grid — and the
+        exact kernel only sees the surviving rows; each member's first match
+        is then recovered from the sorted matched-row indices.
+        """
+        counts = [p[2].shape[0] for p in participants]
+        stacked = np.concatenate([p[2] for p in participants])
+        if participants[0][3] is not None:
+            stacked_scales = np.concatenate([p[3] for p in participants])
+        else:
+            stacked_scales = None
+        if len(participants) == len(kind_states):
+            thresholds = kind_thresholds
+        else:
+            thresholds = np.array([p[0].threshold for p in participants])
+        per_row = np.repeat(thresholds, counts)
+        metric = participants[0][0].metric
+        if (
+            prune
+            and stacked.shape[0] >= PRUNE_MIN_ROWS
+            and participants[0][4] is not None
+            and metric.prune_stats is not None
+        ):
+            stacked_summaries = np.concatenate([p[4] for p in participants])
+            pstat, pbase = metric.prune_stats(vector, stacked_summaries, stacked_scales)
+            plimit = per_row * PRUNE_REL
+            keep = pstat <= (plimit if pbase is None else plimit * pbase)
+            survivors = np.flatnonzero(keep)
+            if survivors.size * PRUNE_FALLBACK_DENOM > stacked.shape[0]:
+                # The summaries cluster tighter than the grid's limits, so
+                # the gather would cost more than it skips — take the dense
+                # stacked kernel below instead (identical result either way).
+                survivors = None
+        else:
+            survivors = None
+        if survivors is not None:
+            if survivors.size:
+                rows = stacked[survivors]
+                scales = stacked_scales[survivors] if stacked_scales is not None else None
+                stat, base = metric.match_stats(vector, rows, scales)
+                limits = per_row[survivors] if base is None else per_row[survivors] * base
+                matched = survivors[stat <= limits]
+            else:
+                matched = survivors  # empty: every row pruned
+            instrument = self.instrument
+            offset = 0
+            for (state, candidates, _, _, _), count in zip(participants, counts):
+                stop = offset + count
+                # First matched global row inside this member's slice, if any
+                # (``matched`` is ascending, so this is the earliest match).
+                position = int(np.searchsorted(matched, offset))
+                if position < matched.size and matched[position] < stop:
+                    index = int(matched[position]) - offset
+                else:
+                    index = None
+                if instrument:
+                    counters = state.match_counters
+                    lo, hi = np.searchsorted(survivors, (offset, stop))
+                    counters.rows_pruned += count - int(hi - lo)
+                    counters.blocks_evaluated += 1
+                offset = stop
+                chosen = candidates[index] if index is not None else None
+                self._record(state, key, frame, i, start, rel, candidates, chosen, vector)
+            return
+        stat, base = metric.match_stats(vector, stacked, stacked_scales)
+        mask = stat <= (per_row if base is None else per_row * base)
+        offset = 0
+        for (state, candidates, _, _, _), count in zip(participants, counts):
+            stop = offset + count
+            index = first_match_index(mask[offset:stop])
+            offset = stop
+            chosen = candidates[index] if index is not None else None
+            self._record(state, key, frame, i, start, rel, candidates, chosen, vector)
 
     @staticmethod
     def _record(

@@ -51,6 +51,8 @@ class ConfigOutcome:
         }
         if self.match is not None:
             row["match_seconds"] = self.match.seconds
+            row["rows_pruned"] = self.match.rows_pruned
+            row["blocks_evaluated"] = self.match.blocks_evaluated
         return row
 
 

@@ -138,6 +138,12 @@ class TestEvaluationFromFiles:
             b.degree_of_matching,
             b.approx_distance_us,
         )
+        # The whole evaluation ran on the columns: preparation (analysis +
+        # full size), reduction, and the criteria materialized segments only
+        # for the stored representatives — nothing else.
+        for prepared, result in ((prepared_text, a), (prepared_rpb, b)):
+            assert prepared.segmented.materialized == result.n_stored
+            assert prepared.segmented.materialized < prepared.segmented.num_segments
 
     def test_pipeline_source_shard_backend(self, trace_files):
         from repro.evaluation.runner import PreparedWorkload, evaluate_method

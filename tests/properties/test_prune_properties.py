@@ -1,0 +1,132 @@
+"""Property-based soundness of the norm-bound pruning prefilter.
+
+The prefilter is only allowed to discard rows that *provably* cannot match:
+for every metric with pruning hooks, any row the exact kernel would accept
+must survive ``prune_mask`` — at any threshold, for any probe, for any
+bucket.  A violation here means the pruned reducer could store a segment the
+paper's algorithm would have matched, silently changing the output.
+
+The iteration metrics carry no pruning hooks at all, so the property holds
+for them trivially; a test pins that down so a future hook can't appear
+without a soundness test.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import create_metric
+from repro.core.metrics.base import DistanceMetric
+
+from tests.properties.strategies import iteration_segments
+
+#: Metrics with the full pruning surface (row_summary + prune_stats).
+PRUNABLE = ["relDiff", "absDiff", "manhattan", "euclidean", "chebyshev", "avgWave", "haarWave"]
+
+#: Thresholds spanning never-match to always-match regimes; the soundness
+#: property must hold at every one of them.
+thresholds = st.floats(min_value=1e-6, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def probe_and_bucket(draw):
+    """A normalised probe plus structurally identical stored segments."""
+    segments = [s.relative_to_start() for s in draw(iteration_segments(min_segments=2))]
+    return segments[0], segments[1:]
+
+
+def _bucket_columns(metric, stored):
+    """The cached columns a CandidateList would hold for this bucket."""
+    matrix = np.stack([metric.build_vector(segment) for segment in stored])
+    summaries = np.asarray([metric.row_summary(row) for row in matrix])
+    scales = (
+        np.asarray([metric.row_scale(row) for row in matrix])
+        if metric.row_scale is not None
+        else None
+    )
+    return matrix, summaries, scales
+
+
+@pytest.mark.parametrize("metric_name", PRUNABLE)
+class TestPruneSoundness:
+    @given(data=probe_and_bucket(), threshold=thresholds)
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_row_is_never_a_match(self, metric_name, data, threshold):
+        probe, stored = data
+        metric = create_metric(metric_name, threshold)
+        vector = metric.build_vector(probe)
+        matrix, summaries, scales = _bucket_columns(metric, stored)
+        keep = metric.prune_mask(vector, summaries, scales)
+        stat, base = metric.match_stats(vector, matrix, scales)
+        matches = stat <= (threshold if base is None else threshold * base)
+        # Necessary condition: every exact match must survive the prefilter.
+        assert not np.any(matches & ~keep), (
+            f"{metric_name}({threshold:g}) pruned a row the exact kernel matches"
+        )
+
+    @given(data=probe_and_bucket(), threshold=thresholds)
+    @settings(max_examples=40, deadline=None)
+    def test_match_pruned_equals_match_batch(self, metric_name, data, threshold):
+        # First-match preservation: discarding provable non-matches must not
+        # change which row is found first.
+        probe, stored = data
+        metric = create_metric(metric_name, threshold)
+        vector = metric.build_vector(probe)
+        matrix, summaries, scales = _bucket_columns(metric, stored)
+        assert metric.match_pruned(vector, matrix, scales, summaries) == metric.match_batch(
+            vector, matrix, scales
+        )
+
+    @given(data=probe_and_bucket())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_duplicate_always_survives(self, metric_name, data):
+        # The tightest corner of the soundness slack: a row equal to the
+        # probe has distance zero and must survive even at threshold ~0.
+        probe, stored = data
+        metric = create_metric(metric_name, 1e-6)
+        vector = metric.build_vector(probe)
+        matrix, _, _ = _bucket_columns(metric, stored)
+        matrix = np.vstack([matrix, vector])
+        summaries = np.asarray([metric.row_summary(row) for row in matrix])
+        scales = (
+            np.asarray([metric.row_scale(row) for row in matrix])
+            if metric.row_scale is not None
+            else None
+        )
+        assert bool(metric.prune_mask(vector, summaries, scales)[-1])
+
+
+@pytest.mark.parametrize("metric_name", ["relDiff", "absDiff"])
+class TestMatchOne:
+    @given(data=probe_and_bucket(), threshold=thresholds)
+    @settings(max_examples=40, deadline=None)
+    def test_depth_one_kernel_matches_dense_decision(self, metric_name, data, threshold):
+        # The depth-one scalar fast path must reproduce the dense kernel's
+        # (and therefore the scan's) decision exactly.
+        probe, stored = data
+        metric = create_metric(metric_name, threshold)
+        vector = metric.build_vector(probe)
+        for segment in stored:
+            row = metric.build_vector(segment)
+            stat, base = metric.match_stats(vector, row[np.newaxis, :])
+            dense = bool(stat[0] <= (threshold if base is None else threshold * base[0]))
+            assert metric.match_one(vector, row) == dense
+
+
+class TestHookSurface:
+    def test_prunable_metrics_declare_all_hooks(self):
+        for name in PRUNABLE:
+            metric = create_metric(name)
+            assert isinstance(metric, DistanceMetric)
+            assert metric.row_summary is not None
+            assert metric.prune_stats is not None
+
+    def test_iteration_metrics_have_no_prune_hooks(self):
+        # iter_k / iter_avg never route through the pruning machinery; the
+        # soundness property holds for them vacuously.
+        for name in ("iter_k", "iter_avg"):
+            metric = create_metric(name)
+            assert not isinstance(metric, DistanceMetric)
+            assert getattr(metric, "prune_stats", None) is None
+            assert getattr(metric, "row_summary", None) is None
