@@ -18,6 +18,10 @@ pipeline without writing any Python:
   per-config criteria and vector-sharing stats); ``--trace FILE`` sweeps a
   trace file instead, with ``.rpb`` grids fanned out as (rank × family)
   pool tasks
+* ``repro-trace serve <workload>``           — drive the online reduction
+  service: concurrent incremental sessions with per-tenant budgets and
+  eviction-to-checkpoint, flush-delta logging (``--deltas``), and repeat
+  requests answered from the content-digest result cache (``--repeat``)
 * ``repro-trace report <telemetry.json>``    — render a telemetry file recorded
   with ``--telemetry`` (per-stage/per-worker tables, hottest spans)
 
@@ -263,6 +267,94 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record spans/metrics and export a Chrome trace_event timeline "
         "to PATH (default: telemetry.json)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the online reduction service (incremental sessions, "
+        "checkpoints, digest cache)",
+    )
+    serve.add_argument(
+        "workload",
+        nargs="?",
+        choices=ALL_WORKLOAD_NAMES,
+        help="workload to simulate and stream (omit when using --trace)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream this trace file through the service instead of a workload",
+    )
+    serve.add_argument(
+        "--method", choices=METRIC_NAMES, default="relDiff", help="similarity method"
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=None, help="method threshold (default: paper's best)"
+    )
+    serve.add_argument(
+        "--store-capacity",
+        type=int,
+        default=None,
+        help="bound each session's per-rank representative store (default: unbounded)",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=1,
+        help="concurrent sessions fed the same stream under one tenant (default: 1)",
+    )
+    serve.add_argument(
+        "--chunk",
+        type=int,
+        default=8,
+        help="segments per append call (default: 8)",
+    )
+    serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=4,
+        help="appends between delta flushes (default: 4)",
+    )
+    serve.add_argument(
+        "--tenant-budget",
+        type=int,
+        default=None,
+        help="max live representatives across the tenant's resident sessions; "
+        "idle sessions beyond it are evicted to checkpoints (default: unbounded)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="per-session command queue depth; appends block beyond it (default: 16)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="one-shot submit() requests of the full trace after the sessions "
+        "finish; identical content answers from the digest cache (default: 1)",
+    )
+    serve.add_argument(
+        "--deltas",
+        default=None,
+        metavar="FILE",
+        help="append the lead session's non-empty flush deltas to this log file",
+    )
+    serve.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every session's output is byte-identical to the serial reducer",
+    )
+    serve.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.json",
+        default=None,
+        metavar="PATH",
+        help="record spans/metrics (incl. service counters) and export a "
+        "Chrome trace_event timeline to PATH (default: telemetry.json)",
     )
 
     report = sub.add_parser(
@@ -625,6 +717,163 @@ def _cmd_sweep(args, scale) -> str:
     return report
 
 
+def _cmd_serve(args, scale) -> str:
+    import asyncio
+    from pathlib import Path
+
+    from repro.pipeline.stream import rank_segment_streams, source_name
+    from repro.service import ReductionService, SessionConfig
+    from repro.trace.io import DeltaWriter
+
+    try:
+        config = SessionConfig(
+            method=args.method,
+            threshold=args.threshold,
+            store_capacity=args.store_capacity,
+        )
+        if args.trace is not None and args.workload is not None:
+            raise ValueError("give either a workload or --trace FILE, not both")
+        if args.trace is None and args.workload is None:
+            raise ValueError("a workload name or --trace FILE is required")
+        if args.sessions < 1:
+            raise ValueError(f"--sessions must be >= 1, got {args.sessions}")
+        if args.chunk < 1:
+            raise ValueError(f"--chunk must be >= 1, got {args.chunk}")
+        if args.flush_every < 1:
+            raise ValueError(f"--flush-every must be >= 1, got {args.flush_every}")
+        if args.repeat < 0:
+            raise ValueError(f"--repeat must be >= 0, got {args.repeat}")
+    except ValueError as error:
+        raise _UsageError(str(error)) from error
+
+    if args.trace is not None:
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            raise _UsageError(f"trace file {trace_path} does not exist")
+        source = trace_path
+        subject = str(trace_path)
+    else:
+        source = build_workload(args.workload, scale).run_segmented()
+        subject = args.workload
+    # Materialize once: every session replays the same per-rank stream, and
+    # forward-only text sources cannot be iterated twice.
+    stream = [(rank, list(segments)) for rank, segments in rank_segment_streams(source)]
+    trace_name = source_name(source)
+
+    async def drive(delta_writer):
+        service = ReductionService(
+            tenant_budget=args.tenant_budget, queue_limit=args.queue_limit
+        )
+        handles = [
+            await service.open_session(
+                "cli", f"{trace_name}/s{i}", config
+            )
+            for i in range(args.sessions)
+        ]
+
+        async def feed(index, handle):
+            appends = 0
+            for rank, segments in stream:
+                for at in range(0, len(segments), args.chunk):
+                    await handle.append(rank, segments=segments[at : at + args.chunk])
+                    appends += 1
+                    if appends % args.flush_every == 0:
+                        delta = await handle.flush()
+                        if index == 0 and delta_writer is not None:
+                            delta_writer.write(delta)
+            result = await handle.finish()
+            if index == 0 and delta_writer is not None:
+                delta_writer.write(result.delta)
+            return result
+
+        results = await asyncio.gather(
+            *(feed(i, handle) for i, handle in enumerate(handles))
+        )
+        submits = [
+            await service.submit("cli", source, config) for _ in range(args.repeat)
+        ]
+        await service.close()
+        return service, results, submits
+
+    def run(delta_writer):
+        return asyncio.run(drive(delta_writer))
+
+    telemetry_row = None
+    delta_writer = DeltaWriter(args.deltas) if args.deltas is not None else None
+    try:
+        if args.telemetry is not None:
+            with obs.recording("serve") as recorder:
+                service, results, submits = run(delta_writer)
+                service.stats.record_to(recorder.registry)
+            payload = obs.write_chrome_trace(
+                recorder,
+                args.telemetry,
+                metadata={
+                    "command": "serve",
+                    "subject": subject,
+                    "method": config.describe(),
+                    "sessions": args.sessions,
+                },
+            )
+            n_events = sum(1 for e in payload["traceEvents"] if e.get("ph") == "X")
+            telemetry_row = ["telemetry written to", f"{args.telemetry} ({n_events} spans)"]
+        else:
+            service, results, submits = run(delta_writer)
+    finally:
+        if delta_writer is not None:
+            delta_writer.close()
+
+    stats = service.stats
+    reduced_bytes = results[0].reduced.size_bytes()
+    rows = [
+        ["subject", subject],
+        ["method", config.describe()],
+        ["sessions", args.sessions],
+        ["chunk (segments/append)", args.chunk],
+        *[[label, value] for label, value in stats.rows()],
+        ["reduced trace bytes", reduced_bytes],
+        ["trace digest", results[0].digest[:16] + "…"],
+    ]
+    if submits:
+        hits = sum(1 for s in submits if s.cache_hit)
+        rows.append(["submit requests", f"{len(submits)} ({hits} cache hits)"])
+    if delta_writer is not None:
+        rows.append(
+            ["delta log", f"{args.deltas} ({delta_writer.deltas_written} deltas, "
+             f"{delta_writer.bytes_written} bytes)"]
+        )
+    if telemetry_row is not None:
+        rows.append(telemetry_row)
+
+    identical = True
+    if args.verify:
+        from repro.trace.trace import SegmentedRankTrace, SegmentedTrace
+
+        segmented = SegmentedTrace(
+            name=trace_name,
+            ranks=[
+                SegmentedRankTrace(rank=rank, segments=segments)
+                for rank, segments in stream
+            ],
+        )
+        serial = TraceReducer(create_metric(args.method, args.threshold)).reduce(segmented)
+        want = serialize_reduced_trace(serial)
+        identical = all(
+            serialize_reduced_trace(result.reduced) == want for result in results
+        )
+        rows.append(["matches serial reducer", "yes" if identical else "NO"])
+
+    title = f"online reduction service — {subject}"
+    if args.trace is None:
+        title += f" (scale={scale.name})"
+    report = format_table(["property", "value"], rows, title=title)
+    if not identical:
+        raise _VerificationFailed(
+            report, "service output does not match the serial reducer"
+        )
+    return report
+
+
 def _cmd_report(args) -> str:
     from pathlib import Path
 
@@ -716,6 +965,8 @@ def _dispatch(args, scale, parser) -> str:
         output = _cmd_pipeline(args, scale)
     elif args.command == "sweep":
         output = _cmd_sweep(args, scale)
+    elif args.command == "serve":
+        output = _cmd_serve(args, scale)
     elif args.command == "report":
         output = _cmd_report(args)
     elif args.command == "convert":

@@ -258,6 +258,47 @@ class CandidateList:
             if self._summaries is not None:
                 self._summaries[index] = self._owner.row_summary(row)
 
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self):
+        """Checkpointable state: entries plus the built index columns.
+
+        The matrix, scale, and pruning-summary columns are trimmed to their
+        built rows (spare growth capacity is not worth shipping) and kept
+        **intact** through the round trip, so a restored bucket probes with
+        the same prefilter state it had — a session checkpoint must not
+        silently degrade to rebuild-on-first-probe.  The owner metric rides
+        along by reference; inside a session checkpoint every bucket's owner
+        is the session's one metric instance, which pickle memoization keeps
+        as a single shared object.
+        """
+        built = self._built
+        # A zero-row matrix (possible after eviction trimmed every built row)
+        # is stored as None: restoring a 0-capacity buffer would break the
+        # doubling growth rule, and an empty matrix carries no information.
+        keep = built > 0 and self._matrix is not None
+        return {
+            "entries": self._entries,
+            "owner": self._owner,
+            "matrix": self._matrix[:built].copy() if keep else None,
+            "scales": self._scales[:built].copy() if keep and self._scales is not None else None,
+            "summaries": (
+                self._summaries[:built].copy()
+                if keep and self._summaries is not None
+                else None
+            ),
+            "built": built if keep else 0,
+        }
+
+    def __setstate__(self, state):
+        self._entries = state["entries"]
+        self._owner = state["owner"]
+        self._matrix = state["matrix"]
+        self._scales = state["scales"]
+        self._summaries = state["summaries"]
+        self._built = state["built"]
+        self._views = None
+
     # -- the matrix ------------------------------------------------------------
 
     def matrix(self, metric) -> np.ndarray:

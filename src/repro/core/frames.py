@@ -66,6 +66,18 @@ class InternedKey:
             return self.value == other.value
         return NotImplemented
 
+    def __getstate__(self):
+        # Only the value crosses the pickle boundary: string hashing is
+        # salted per process (PYTHONHASHSEED), so a cached hash restored in
+        # another process would disagree with freshly built keys and every
+        # store probe would miss.  Dict reconstruction re-inserts keys after
+        # __setstate__ has run, so restored stores rehash correctly.
+        return self.value
+
+    def __setstate__(self, value):
+        self.value = value
+        self._hash = hash(value)
+
 
 def pyramid_rows(matrix: np.ndarray, scale: float) -> np.ndarray:
     """Row-batched multi-level DWT (the bulk form of ``wavelet._pyramid``).

@@ -129,6 +129,7 @@ class TraceReducer:
         rank: int = 0,
         store: Optional[SegmentStore] = None,
         match_counters: Optional[MatchCounters] = None,
+        into: Optional[ReducedRankTrace] = None,
     ) -> ReducedRankTrace:
         """Reduce a segment stream (list, generator, or any iterable).
 
@@ -137,11 +138,19 @@ class TraceReducer:
         is given, the match-kernel stage (calls, candidate rows, wall time)
         is accumulated into it; with None the hot loop carries no timing
         overhead.
+
+        ``into`` makes the call *incremental*: segments are appended to an
+        existing :class:`ReducedRankTrace` (new representatives continue its
+        id sequence) instead of starting a fresh one.  Passing the same
+        ``store`` and ``into`` across successive calls reduces a trace that
+        arrives in pieces byte-identically to one batch call over the
+        concatenated stream — the contract the online reduction service
+        (:mod:`repro.service`) is built on.
         """
-        reduced = ReducedRankTrace(rank=rank)
+        reduced = ReducedRankTrace(rank=rank) if into is None else into
         if store is None:
             store = _InlineStore()
-        next_id = 0
+        next_id = len(reduced.stored)
         metric = self.metric
         batched = self.batch
         prune = self.prune
@@ -197,6 +206,7 @@ class TraceReducer:
         *,
         store: Optional[SegmentStore] = None,
         match_counters: Optional[MatchCounters] = None,
+        into: Optional[ReducedRankTrace] = None,
     ) -> ReducedRankTrace:
         """Reduce one rank's columnar frame — the lazy-materialization path.
 
@@ -205,9 +215,13 @@ class TraceReducer:
         materialized for stored representatives (and for metrics the bulk
         path cannot serve).  Byte-identical to :meth:`reduce_segments` over
         the frame's decoded segments — the latter remains the oracle.
+
+        ``into`` continues an existing :class:`ReducedRankTrace` (see
+        :meth:`reduce_segments`): the incremental form the online reduction
+        service uses to feed appended chunks through the columnar path.
         """
-        reduced = ReducedRankTrace(rank=frame.rank)
-        reduced.n_segments = frame.n_segments
+        reduced = ReducedRankTrace(rank=frame.rank) if into is None else into
+        reduced.n_segments += frame.n_segments
         if store is None:
             store = _InlineStore()
         if self.batch and isinstance(self.metric, DistanceMetric):
@@ -236,7 +250,7 @@ class TraceReducer:
         add_built = getattr(store, "add_built", None)
         perf_counter = time.perf_counter
         prune = self.prune
-        next_id = 0
+        next_id = len(reduced.stored)
 
         for i in range(frame.n_segments):
             key = keys[i]
@@ -335,7 +349,7 @@ class TraceReducer:
         keys = frame.structural_keys()
         starts = frame.starts_list()
         perf_counter = time.perf_counter
-        next_id = 0
+        next_id = len(reduced.stored)
 
         for i in range(frame.n_segments):
             relative = frame.segment(i)

@@ -122,6 +122,22 @@ class UnboundedStore(_InlineStore, RepresentativeStore):
         counters.misses += 1
         return _EMPTY
 
+    def __getstate__(self):
+        """Explicit checkpoint state (buckets, size, counters).
+
+        Spelled out (rather than relying on the default slots+dict protocol)
+        so the session checkpoint format is stable against refactors of the
+        class layout; bucket keys are rehashed on restore by dict
+        reconstruction, which is what makes checkpoints portable across
+        processes with different string-hash salts.
+        """
+        return {"by_key": self._by_key, "size": self._size, "counters": self.counters}
+
+    def __setstate__(self, state):
+        self.counters = state["counters"]
+        self._by_key = state["by_key"]
+        self._size = state["size"]
+
 
 class LRUStore(RepresentativeStore):
     """Bounded store: at most ``capacity`` representatives, LRU-evicted.
@@ -179,6 +195,21 @@ class LRUStore(RepresentativeStore):
         bucket.append_built(stored, metric, row)
         self._size += 1
         self._evict_over_capacity(bucket)
+
+    def __getstate__(self):
+        """Explicit checkpoint state: capacity, recency-ordered buckets, counters."""
+        return {
+            "capacity": self.capacity,
+            "by_key": self._by_key,
+            "size": self._size,
+            "counters": self.counters,
+        }
+
+    def __setstate__(self, state):
+        self.counters = state["counters"]
+        self.capacity = state["capacity"]
+        self._by_key = state["by_key"]
+        self._size = state["size"]
 
     def _evict_over_capacity(self, bucket: CandidateList) -> None:
         while self._size > self.capacity:

@@ -1,0 +1,556 @@
+"""Multi-tenant session manager: budgets, eviction, backpressure, caching.
+
+:class:`ReductionService` hosts many :class:`ReductionSession` objects at
+once, partitioned by tenant.  The design is a per-session actor: every
+resident session owns a bounded :class:`asyncio.Queue` of commands and one
+worker task that drains it, so
+
+* commands of one session execute strictly in submission order (appends and
+  flushes never interleave within a session);
+* a full queue makes ``await handle.append(...)`` block — **backpressure**
+  reaches the producer instead of growing memory;
+* sessions of different tenants (and of one tenant) make progress
+  concurrently at await granularity.
+
+Memory is bounded two ways.  Per-tenant, ``tenant_budget`` caps the total
+*live representatives* across the tenant's resident sessions; when an append
+pushes a tenant over budget, least-recently-used **idle** sessions are
+evicted to checkpoints (bytes in memory, or files under ``checkpoint_dir``)
+and transparently restored on their next command.  Globally, the result
+cache is byte-bounded, and a finished session's serialized output is
+inserted under its ``(trace digest, config key)`` — a later
+:meth:`ReductionService.submit` of identical content under the same config is
+answered from the cache without re-reduction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro import obs
+from repro.service.cache import ResultCache, source_digest
+from repro.service.checkpoint import restore_state, session_state
+from repro.service.session import (
+    ReductionDelta,
+    ReductionSession,
+    SessionConfig,
+    SessionResult,
+)
+from repro.trace.io import serialize_reduced_trace
+from repro.trace.records import TraceRecord
+from repro.trace.segments import Segment
+
+__all__ = ["ServiceStats", "SessionHandle", "SubmitResult", "ReductionService"]
+
+
+@dataclass(slots=True)
+class ServiceStats:
+    """Service-wide counters, surfaced through the ``repro.obs`` registry."""
+
+    sessions_opened: int = 0
+    sessions_finished: int = 0
+    sessions_active: int = 0
+    sessions_resident: int = 0
+    peak_active: int = 0
+    peak_resident: int = 0
+    peak_resident_representatives: int = 0
+    appends: int = 0
+    segments: int = 0
+    flushes: int = 0
+    deltas_emitted: int = 0
+    evicted_to_checkpoint: int = 0
+    restored_from_checkpoint: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def record_to(self, registry) -> None:
+        """Record these counters into an ``obs`` metrics registry.
+
+        Gauges carry the high-water marks (what budgets bound); counters
+        carry lifetime totals.  ``repro-trace report`` renders every
+        registry metric, so everything here shows up there unchanged.
+        """
+        registry.inc("service.sessions_opened", self.sessions_opened)
+        registry.inc("service.sessions_finished", self.sessions_finished)
+        registry.set_gauge("service.sessions_active", self.peak_active)
+        registry.set_gauge("service.sessions_resident", self.peak_resident)
+        registry.set_gauge(
+            "service.resident_representatives", self.peak_resident_representatives
+        )
+        registry.inc("service.appends", self.appends)
+        registry.inc("service.segments", self.segments)
+        registry.inc("service.flushes", self.flushes)
+        registry.inc("service.deltas_emitted", self.deltas_emitted)
+        registry.inc("service.evicted_to_checkpoint", self.evicted_to_checkpoint)
+        registry.inc("service.restored_from_checkpoint", self.restored_from_checkpoint)
+        registry.inc("service.cache_hits", self.cache_hits)
+        registry.inc("service.cache_misses", self.cache_misses)
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(label, value) pairs for human-readable summaries (CLI tables)."""
+        return [
+            ("sessions opened", self.sessions_opened),
+            ("sessions finished", self.sessions_finished),
+            ("peak active sessions", self.peak_active),
+            ("peak resident sessions", self.peak_resident),
+            ("peak resident representatives", self.peak_resident_representatives),
+            ("appends", self.appends),
+            ("segments ingested", self.segments),
+            ("flushes", self.flushes),
+            ("deltas emitted", self.deltas_emitted),
+            ("evicted to checkpoint", self.evicted_to_checkpoint),
+            ("restored from checkpoint", self.restored_from_checkpoint),
+            ("cache hits", self.cache_hits),
+            ("cache misses", self.cache_misses),
+        ]
+
+
+@dataclass(slots=True)
+class SubmitResult:
+    """Outcome of a one-shot :meth:`ReductionService.submit`.
+
+    ``payload`` is always the canonical ``serialize_reduced_trace`` bytes;
+    ``reduced`` is only populated when the reduction actually ran (cache
+    hits return bytes alone).
+    """
+
+    digest: str
+    config_key: tuple
+    payload: bytes
+    cache_hit: bool
+    reduced: Optional[object] = None
+
+
+class _Tenant:
+    """One tenant's sessions in LRU order (least recently used first)."""
+
+    __slots__ = ("name", "sessions", "peak_representatives")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sessions: OrderedDict[tuple, _ManagedSession] = OrderedDict()
+        self.peak_representatives = 0
+
+    def resident_representatives(self) -> int:
+        return sum(
+            ms.session.live_representatives
+            for ms in self.sessions.values()
+            if ms.session is not None
+        )
+
+
+class _ManagedSession:
+    """A session under service management: queue, worker, checkpoint slot."""
+
+    __slots__ = (
+        "service",
+        "tenant",
+        "key",
+        "session",
+        "checkpoint",
+        "queue",
+        "worker",
+        "busy",
+        "finished",
+        "peak_queue",
+    )
+
+    def __init__(
+        self,
+        service: "ReductionService",
+        tenant: str,
+        key: tuple,
+        session: ReductionSession,
+        queue_limit: int,
+    ) -> None:
+        self.service = service
+        self.tenant = tenant
+        self.key = key
+        self.session: Optional[ReductionSession] = session
+        #: ``("mem", bytes)`` or ``("file", Path)`` while evicted, else None.
+        self.checkpoint: Optional[tuple] = None
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self.worker: Optional[asyncio.Task] = asyncio.create_task(self._run())
+        self.busy = False
+        self.finished = False
+        self.peak_queue = 0
+
+    @property
+    def resident(self) -> bool:
+        return self.session is not None
+
+    @property
+    def evictable(self) -> bool:
+        """Safe to freeze: resident, no command running or queued, not done."""
+        return (
+            self.resident and not self.busy and self.queue.empty() and not self.finished
+        )
+
+    async def _run(self) -> None:
+        while True:
+            kind, args, future = await self.queue.get()
+            self.busy = True
+            stop = False
+            try:
+                result = self._execute(kind, args)
+            except Exception as error:
+                if not future.cancelled():
+                    future.set_exception(error)
+                result = None
+            else:
+                stop = kind == "finish"
+                if not future.cancelled():
+                    future.set_result(result)
+                else:
+                    result = None
+            finally:
+                self.busy = False
+                self.queue.task_done()
+            self.service._after_command(self, kind, result)
+            if stop:
+                return
+
+    def _execute(self, kind: str, args: tuple):
+        session = self.session
+        assert session is not None  # _touch restores before enqueueing
+        if kind == "append_segments":
+            rank, segments = args
+            return session.append_segments(rank, segments)
+        if kind == "append_records":
+            rank, records = args
+            return session.append_records(rank, records)
+        if kind == "flush":
+            return session.flush()
+        if kind == "finish":
+            return session.finish()
+        raise ValueError(f"unknown session command {kind!r}")
+
+
+class SessionHandle:
+    """The async facade :meth:`ReductionService.open_session` returns.
+
+    All methods enqueue onto the session's bounded command queue and await
+    the result; when the queue is full, they block until the worker drains —
+    that is the backpressure contract.
+    """
+
+    def __init__(self, service: "ReductionService", managed: _ManagedSession) -> None:
+        self._service = service
+        self._managed = managed
+
+    @property
+    def tenant(self) -> str:
+        return self._managed.tenant
+
+    @property
+    def key(self) -> tuple:
+        return self._managed.key
+
+    @property
+    def name(self) -> str:
+        return self._managed.key[0]
+
+    async def append(
+        self,
+        rank: int,
+        *,
+        segments: Optional[Iterable[Segment]] = None,
+        records: Optional[Iterable[TraceRecord]] = None,
+    ) -> int:
+        """Append one rank's batch (segments or raw records); returns
+        segments completed."""
+        if (segments is None) == (records is None):
+            raise ValueError("append takes exactly one of segments= or records=")
+        if segments is not None:
+            return await self._submit("append_segments", (rank, list(segments)))
+        return await self._submit("append_records", (rank, list(records)))
+
+    async def flush(self) -> ReductionDelta:
+        """Emit the delta of everything reduced since the previous flush."""
+        return await self._submit("flush", ())
+
+    async def finish(self) -> SessionResult:
+        """Seal the session; its result enters the service's digest cache."""
+        return await self._submit("finish", ())
+
+    async def _submit(self, kind: str, args: tuple):
+        managed = self._managed
+        self._service._touch(managed)
+        future = asyncio.get_running_loop().create_future()
+        await managed.queue.put((kind, args, future))
+        managed.peak_queue = max(managed.peak_queue, managed.queue.qsize())
+        return await future
+
+
+class ReductionService:
+    """Asyncio manager of many concurrent reduction sessions.
+
+    Parameters
+    ----------
+    tenant_budget:
+        Max live representatives across one tenant's *resident* sessions;
+        ``None`` disables eviction.  The session that just executed a
+        command is never evicted for its own overflow (evicting the hot
+        session would thrash checkpoint/restore on every append), so the
+        effective bound is ``budget + largest single session``.
+    queue_limit:
+        Command-queue depth per session; producers block beyond it.
+    cache:
+        Result cache; defaults to a fresh 64 MiB :class:`ResultCache`.
+    checkpoint_dir:
+        Where evicted sessions spill.  ``None`` keeps checkpoint bytes in
+        memory (cheap for tests and small deployments); a directory makes
+        eviction actually release the heap.
+    """
+
+    def __init__(
+        self,
+        *,
+        tenant_budget: Optional[int] = None,
+        queue_limit: int = 16,
+        cache: Optional[ResultCache] = None,
+        checkpoint_dir: Optional[str | Path] = None,
+    ) -> None:
+        if tenant_budget is not None and tenant_budget < 1:
+            raise ValueError(f"tenant_budget must be >= 1 or None, got {tenant_budget}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.tenant_budget = tenant_budget
+        self.queue_limit = int(queue_limit)
+        self.cache = cache if cache is not None else ResultCache()
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = ServiceStats()
+        self._tenants: dict[str, _Tenant] = {}
+        self._submit_seq = 0
+
+    # -- session lifecycle -------------------------------------------------
+
+    async def open_session(
+        self, tenant: str, name: str, config: SessionConfig | str
+    ) -> SessionHandle:
+        """Create a session for ``tenant`` and return its handle.
+
+        The key is ``(name, config.key)`` — the same trace name may be open
+        under different configs, but not twice under the same one.
+        """
+        if isinstance(config, str):
+            config = SessionConfig(method=config)
+        key = (name, config.key)
+        tenant_state = self._tenants.setdefault(tenant, _Tenant(tenant))
+        if key in tenant_state.sessions:
+            raise ValueError(
+                f"session {name!r} with config {config.describe()} is already "
+                f"open for tenant {tenant!r}"
+            )
+        session = ReductionSession(name, config)
+        managed = _ManagedSession(self, tenant, key, session, self.queue_limit)
+        tenant_state.sessions[key] = managed
+        stats = self.stats
+        stats.sessions_opened += 1
+        stats.sessions_active += 1
+        stats.sessions_resident += 1
+        stats.peak_active = max(stats.peak_active, stats.sessions_active)
+        stats.peak_resident = max(stats.peak_resident, stats.sessions_resident)
+        return SessionHandle(self, managed)
+
+    def session_handle(self, tenant: str, name: str, config: SessionConfig | str) -> SessionHandle:
+        """Handle of an already-open session (resident or checkpointed)."""
+        if isinstance(config, str):
+            config = SessionConfig(method=config)
+        tenant_state = self._tenants.get(tenant)
+        managed = tenant_state.sessions.get((name, config.key)) if tenant_state else None
+        if managed is None:
+            raise KeyError(
+                f"tenant {tenant!r} has no open session {name!r} "
+                f"with config {config.describe()}"
+            )
+        return SessionHandle(self, managed)
+
+    async def close(self) -> None:
+        """Cancel all workers and drop all sessions (open ones are lost)."""
+        workers = []
+        for tenant_state in self._tenants.values():
+            for managed in tenant_state.sessions.values():
+                if managed.worker is not None:
+                    managed.worker.cancel()
+                    workers.append(managed.worker)
+            tenant_state.sessions.clear()
+        self._tenants.clear()
+        if workers:
+            await asyncio.gather(*workers, return_exceptions=True)
+
+    # -- one-shot requests -------------------------------------------------
+
+    async def submit(
+        self,
+        tenant: str,
+        source,
+        config: SessionConfig | str,
+        *,
+        chunk: int = 256,
+    ) -> SubmitResult:
+        """Reduce a whole source, answering from the digest cache if possible.
+
+        The source is digested first (same chaining a session applies); a
+        cache hit under ``(digest, config.key)`` returns the stored bytes
+        without touching the reducer.  On a miss, the source streams through
+        an internal session in ``chunk``-segment appends and the result is
+        cached for the next identical request.
+        """
+        from repro.pipeline.stream import rank_segment_streams, source_name
+
+        if isinstance(config, str):
+            config = SessionConfig(method=config)
+        with obs.span("service.submit", tenant=tenant):
+            digest = source_digest(source)
+            payload = self.cache.get(digest, config.key)
+            if payload is not None:
+                self.stats.cache_hits += 1
+                return SubmitResult(
+                    digest=digest, config_key=config.key, payload=payload, cache_hit=True
+                )
+            self.stats.cache_misses += 1
+            self._submit_seq += 1
+            name = f"{source_name(source)}#{self._submit_seq}"
+            handle = await self.open_session(tenant, name, config)
+            for rank, segments in rank_segment_streams(source):
+                buffer: list[Segment] = []
+                for segment in segments:
+                    buffer.append(segment)
+                    if len(buffer) >= chunk:
+                        await handle.append(rank, segments=buffer)
+                        buffer = []
+                if buffer:
+                    await handle.append(rank, segments=buffer)
+            result = await handle.finish()
+            return SubmitResult(
+                digest=digest,
+                config_key=config.key,
+                payload=serialize_reduced_trace(result.reduced),
+                cache_hit=False,
+                reduced=result.reduced,
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def resident_representatives(self, tenant: str) -> int:
+        """Live representatives across the tenant's resident sessions now."""
+        tenant_state = self._tenants.get(tenant)
+        return tenant_state.resident_representatives() if tenant_state else 0
+
+    def tenant_peak_representatives(self, tenant: str) -> int:
+        """High-water mark of :meth:`resident_representatives` for a tenant."""
+        tenant_state = self._tenants.get(tenant)
+        return tenant_state.peak_representatives if tenant_state else 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _touch(self, managed: _ManagedSession) -> None:
+        """LRU-touch a session and make sure it is resident before enqueue."""
+        if managed.finished:
+            raise RuntimeError(f"session {managed.key[0]!r} is already finished")
+        tenant_state = self._tenants.get(managed.tenant)
+        if tenant_state is None or tenant_state.sessions.get(managed.key) is not managed:
+            raise RuntimeError(f"session {managed.key[0]!r} is no longer open")
+        tenant_state.sessions.move_to_end(managed.key)
+        if not managed.resident:
+            self._restore(managed)
+            # The restore just grew the tenant's resident footprint; push
+            # colder sessions out immediately rather than waiting for the
+            # next command to complete.
+            self._enforce_budget(tenant_state, exclude=managed)
+
+    def _restore(self, managed: _ManagedSession) -> None:
+        kind, ref = managed.checkpoint
+        with obs.span(
+            "service.restore", tenant=managed.tenant, session=managed.key[0]
+        ):
+            data = ref.read_bytes() if kind == "file" else ref
+            managed.session = restore_state(data)
+        managed.checkpoint = None
+        if kind == "file":
+            ref.unlink(missing_ok=True)
+        managed.worker = asyncio.create_task(managed._run())
+        stats = self.stats
+        stats.restored_from_checkpoint += 1
+        stats.sessions_resident += 1
+        stats.peak_resident = max(stats.peak_resident, stats.sessions_resident)
+
+    def _evict(self, managed: _ManagedSession) -> None:
+        with obs.span("service.evict", tenant=managed.tenant, session=managed.key[0]):
+            data = session_state(managed.session)
+            if self.checkpoint_dir is not None:
+                path = self.checkpoint_dir / f"{managed.tenant}-{abs(hash(managed.key)):x}.ckpt"
+                path.write_bytes(data)
+                managed.checkpoint = ("file", path)
+            else:
+                managed.checkpoint = ("mem", data)
+        managed.session = None
+        if managed.worker is not None:
+            managed.worker.cancel()
+            managed.worker = None
+        self.stats.evicted_to_checkpoint += 1
+        self.stats.sessions_resident -= 1
+
+    def _after_command(self, managed: _ManagedSession, kind: str, result) -> None:
+        """Bookkeeping after a worker executed one command."""
+        stats = self.stats
+        if kind in ("append_segments", "append_records"):
+            stats.appends += 1
+            if result is not None:
+                stats.segments += int(result)
+        elif kind == "flush":
+            stats.flushes += 1
+            if result is not None and not result.empty:
+                stats.deltas_emitted += 1
+        elif kind == "finish" and result is not None:
+            managed.finished = True
+            self._finish_session(managed, result)
+        tenant_state = self._tenants.get(managed.tenant)
+        if tenant_state is not None:
+            live = tenant_state.resident_representatives()
+            tenant_state.peak_representatives = max(
+                tenant_state.peak_representatives, live
+            )
+            stats.peak_resident_representatives = max(
+                stats.peak_resident_representatives, live
+            )
+            self._enforce_budget(tenant_state, exclude=managed)
+
+    def _finish_session(self, managed: _ManagedSession, result: SessionResult) -> None:
+        tenant_state = self._tenants.get(managed.tenant)
+        if tenant_state is not None:
+            tenant_state.sessions.pop(managed.key, None)
+        stats = self.stats
+        stats.sessions_finished += 1
+        stats.sessions_active -= 1
+        stats.sessions_resident -= 1
+        session = managed.session
+        if session is not None:
+            self.cache.put(
+                result.digest, session.config.key, serialize_reduced_trace(result.reduced)
+            )
+
+    def _enforce_budget(
+        self, tenant_state: _Tenant, exclude: Optional[_ManagedSession] = None
+    ) -> None:
+        budget = self.tenant_budget
+        if budget is None:
+            return
+        if tenant_state.resident_representatives() <= budget:
+            return
+        for managed in list(tenant_state.sessions.values()):  # LRU first
+            if managed is exclude or not managed.evictable:
+                continue
+            self._evict(managed)
+            if tenant_state.resident_representatives() <= budget:
+                return

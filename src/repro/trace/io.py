@@ -37,6 +37,7 @@ from repro.trace.segments import Segment
 
 if TYPE_CHECKING:  # avoid a runtime cycle: core.reduced imports this module
     from repro.core.reduced import ReducedRankTrace, ReducedTrace
+    from repro.service.session import ReductionDelta
 
 from repro.trace.trace import SegmentedTrace, Trace
 
@@ -60,6 +61,9 @@ __all__ = [
     "iter_reduced_rank_chunks",
     "serialize_reduced_trace",
     "write_reduced_trace",
+    "iter_delta_chunks",
+    "serialize_delta",
+    "DeltaWriter",
 ]
 
 _TS_FMT = "{:.2f}"
@@ -370,6 +374,80 @@ def write_reduced_trace(reduced: "ReducedTrace", path: str | Path) -> int:
                     handle.write(chunk)
                     written += len(chunk)
     return written
+
+
+def iter_delta_chunks(delta: "ReductionDelta") -> Iterator[bytes]:
+    """Serialize one reduced-trace delta as a stream of small byte chunks.
+
+    The delta log is the text reduced-trace format plus framing: a ``DELTA``
+    header per flush, a ``RANK`` header per changed rank, then the rank's new
+    representatives as ``SEG`` blocks, updated representatives as ``UPD``
+    lines (carrying the advanced execution count) each followed by the
+    representative's current ``SEG`` block — under ``iter_avg`` the stored
+    timestamps move on every match, so consumers must replace the whole
+    segment — and finally the window's ``EXEC`` entries.  Concatenating the
+    ``SEG``/``EXEC`` payloads of all deltas of a session, dropping
+    superseded ``UPD`` segment states, reconstructs the batch reduced trace.
+    """
+    threshold = "-" if delta.threshold is None else _TS_FMT.format(delta.threshold)
+    yield (
+        f"DELTA {delta.seq} {delta.name} {delta.method} {threshold} "
+        f"{len(delta.ranks)}\n"
+    ).encode("utf-8")
+    for rank_delta in delta.ranks:
+        yield (
+            f"RANK {rank_delta.rank} new={len(rank_delta.new)} "
+            f"updated={len(rank_delta.updated)} execs={len(rank_delta.execs)}\n"
+        ).encode("utf-8")
+        for stored in rank_delta.new:
+            yield serialize_segment(stored.segment, segment_id=stored.segment_id)
+        for stored in rank_delta.updated:
+            yield f"UPD {stored.segment_id} count={stored.count}\n".encode("utf-8")
+            yield serialize_segment(stored.segment, segment_id=stored.segment_id)
+        for segment_id, start in rank_delta.execs:
+            yield serialize_exec_entry(segment_id, start)
+
+
+def serialize_delta(delta: "ReductionDelta") -> bytes:
+    """Serialize one delta to bytes (the concatenation of its chunks)."""
+    return b"".join(iter_delta_chunks(delta))
+
+
+class DeltaWriter:
+    """Appendable reduced-trace delta log.
+
+    One writer per session output file; each :meth:`write` appends one
+    flush's delta.  Empty deltas are skipped (a flush with no changes writes
+    nothing), so the log is exactly the session's non-empty flush history.
+    Usable as a context manager.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("wb")
+        self.deltas_written = 0
+        self.bytes_written = 0
+
+    def write(self, delta: "ReductionDelta") -> int:
+        """Append one delta; returns bytes written (0 for an empty delta)."""
+        if delta.empty:
+            return 0
+        written = 0
+        for chunk in iter_delta_chunks(delta):
+            self._handle.write(chunk)
+            written += len(chunk)
+        self.deltas_written += 1
+        self.bytes_written += written
+        return written
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "DeltaWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def read_trace(path: str | Path, name: str | None = None, format: str | None = None) -> Trace:

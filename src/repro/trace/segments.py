@@ -20,6 +20,7 @@ from repro.trace.records import RecordKind, TraceRecord
 __all__ = [
     "Segment",
     "SegmentationError",
+    "RecordSegmenter",
     "segment_rank_records",
     "iter_segments",
     "structural_key",
@@ -148,26 +149,47 @@ def segment_rank_records(records: Sequence[TraceRecord]) -> list[Segment]:
     return list(iter_segments(records))
 
 
-def iter_segments(records: Iterable[TraceRecord]):
-    """Incrementally segment one rank's record stream.
+class RecordSegmenter:
+    """Push-style incremental segmenter: one rank, one record at a time.
 
-    The streaming form of :func:`segment_rank_records`: each segment is
-    yielded as soon as its SEGMENT_END record is consumed, so memory stays
-    bounded by the largest single segment regardless of trace length.  The
-    rules and errors are identical (the batch function delegates here).
+    The state-machine core of :func:`iter_segments`, exposed as an object so
+    a record stream can arrive in arbitrary pieces (the online reduction
+    service appends records as they are produced) and so the mid-stream
+    state — the open segment, the open event, the running emission index —
+    can be **pickled** inside a session checkpoint and resumed in another
+    process.  Rules and errors are identical to :func:`iter_segments`, which
+    delegates here.
     """
-    current: Segment | None = None
-    open_event: tuple[str, float, TraceRecord] | None = None
-    rank: int | None = None
-    n_emitted = 0
 
-    for rec in records:
-        if rank is None:
-            rank = rec.rank
+    __slots__ = ("rank", "_current", "_open_event", "_n_emitted")
+
+    def __init__(self, rank: int | None = None) -> None:
+        self.rank = rank
+        self._current: Segment | None = None
+        self._open_event: tuple[str, float, TraceRecord] | None = None
+        self._n_emitted = 0
+
+    @property
+    def n_emitted(self) -> int:
+        """Segments completed so far (the next segment's emission index)."""
+        return self._n_emitted
+
+    @property
+    def mid_segment(self) -> bool:
+        """True while a segment (or event) is open — finish() would raise."""
+        return self._current is not None or self._open_event is not None
+
+    def push(self, rec: TraceRecord) -> Segment | None:
+        """Consume one record; returns the segment it completed, if any."""
+        if self.rank is None:
+            self.rank = rec.rank
+        rank = self.rank
         if rec.rank != rank:
             raise SegmentationError(
                 f"record stream mixes ranks {rank} and {rec.rank}; segment per rank first"
             )
+        current = self._current
+        open_event = self._open_event
         if rec.kind is RecordKind.SEGMENT_BEGIN:
             if current is not None:
                 raise SegmentationError(
@@ -178,13 +200,13 @@ def iter_segments(records: Iterable[TraceRecord]):
                 raise SegmentationError(
                     f"segment {rec.name!r} begins inside open event {open_event[0]!r}"
                 )
-            current = Segment(
+            self._current = Segment(
                 context=rec.name,
                 rank=rank,
                 start=rec.timestamp,
                 end=rec.timestamp,
                 events=[],
-                index=n_emitted,
+                index=self._n_emitted,
             )
         elif rec.kind is RecordKind.SEGMENT_END:
             if current is None:
@@ -200,9 +222,9 @@ def iter_segments(records: Iterable[TraceRecord]):
                     f"segment {rec.name!r} ends inside open event {open_event[0]!r}"
                 )
             current.end = rec.timestamp
-            n_emitted += 1
-            yield current
-            current = None
+            self._n_emitted += 1
+            self._current = None
+            return current
         elif rec.kind is RecordKind.ENTER:
             if current is None:
                 raise SegmentationError(
@@ -213,7 +235,7 @@ def iter_segments(records: Iterable[TraceRecord]):
                     f"function {rec.name!r} entered while {open_event[0]!r} is still open; "
                     "the tracer records flat events only"
                 )
-            open_event = (rec.name, rec.timestamp, rec)
+            self._open_event = (rec.name, rec.timestamp, rec)
         elif rec.kind is RecordKind.EXIT:
             if open_event is None or current is None:
                 raise SegmentationError(
@@ -227,11 +249,31 @@ def iter_segments(records: Iterable[TraceRecord]):
             current.events.append(
                 Event(name=name, start=start, end=rec.timestamp, rank=rank, mpi=enter_rec.mpi)
             )
-            open_event = None
+            self._open_event = None
         else:  # pragma: no cover - defensive, RecordKind is exhaustive
             raise SegmentationError(f"unknown record kind {rec.kind!r}")
+        return None
 
-    if current is not None:
-        raise SegmentationError(f"segment {current.context!r} was never closed")
-    if open_event is not None:
-        raise SegmentationError(f"event {open_event[0]!r} was never closed")
+    def finish(self) -> None:
+        """Assert the stream ended cleanly (no segment or event left open)."""
+        if self._current is not None:
+            raise SegmentationError(f"segment {self._current.context!r} was never closed")
+        if self._open_event is not None:
+            raise SegmentationError(f"event {self._open_event[0]!r} was never closed")
+
+
+def iter_segments(records: Iterable[TraceRecord]):
+    """Incrementally segment one rank's record stream.
+
+    The streaming form of :func:`segment_rank_records`: each segment is
+    yielded as soon as its SEGMENT_END record is consumed, so memory stays
+    bounded by the largest single segment regardless of trace length.  The
+    rules and errors are identical (both this and the batch function drive a
+    :class:`RecordSegmenter`).
+    """
+    segmenter = RecordSegmenter()
+    for rec in records:
+        segment = segmenter.push(rec)
+        if segment is not None:
+            yield segment
+    segmenter.finish()

@@ -1,0 +1,141 @@
+"""The delta log format and its reconstruction guarantee."""
+
+import pytest
+
+from repro.benchmarks_ats import late_sender
+from repro.core.metrics import create_metric
+from repro.core.reducer import TraceReducer
+from repro.pipeline.stream import rank_segment_streams
+from repro.service import ReductionSession, SessionConfig
+from repro.trace.io import (
+    DeltaWriter,
+    iter_delta_chunks,
+    serialize_delta,
+    serialize_exec_entry,
+    serialize_reduced_trace,
+    serialize_segment,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return late_sender(nprocs=2, iterations=6, seed=3).run().segmented()
+
+
+def _session_deltas(trace, config, chunk=4):
+    session = ReductionSession("t", config)
+    deltas = []
+    for rank, segments in rank_segment_streams(trace):
+        segments = list(segments)
+        for at in range(0, len(segments), chunk):
+            session.append_segments(rank, segments[at : at + chunk])
+            deltas.append(session.flush())
+    result = session.finish()
+    deltas.append(result.delta)
+    return deltas, result
+
+
+class TestDeltaFormat:
+    def test_header_and_framing(self, trace):
+        deltas, _ = _session_deltas(trace, SessionConfig("relDiff"))
+        payload = serialize_delta(deltas[0]).decode()
+        lines = payload.splitlines()
+        assert lines[0].startswith("DELTA 0 t relDiff 0.80 ")
+        assert lines[1].startswith("RANK 0 new=")
+        # Framing counts match the body.
+        rank_delta = deltas[0].ranks[0]
+        assert f"new={len(rank_delta.new)}" in lines[1]
+        assert f"execs={len(rank_delta.execs)}" in lines[1]
+        assert payload.count("DELTA ") == 1
+
+    def test_thresholdless_method_writes_dash(self, trace):
+        deltas, _ = _session_deltas(trace, SessionConfig("iter_avg"))
+        assert serialize_delta(deltas[0]).decode().splitlines()[0] == (
+            f"DELTA 0 t iter_avg - {len(deltas[0].ranks)}"
+        )
+
+    def test_empty_delta_serializes_header_only(self, trace):
+        session = ReductionSession("t", SessionConfig("relDiff"))
+        delta = session.flush()
+        assert delta.empty
+        assert serialize_delta(delta).decode() == "DELTA 0 t relDiff 0.80 0\n"
+
+    def test_seq_increments(self, trace):
+        deltas, _ = _session_deltas(trace, SessionConfig("relDiff"))
+        assert [d.seq for d in deltas] == list(range(len(deltas)))
+
+    def test_updated_entries_carry_count_and_segment(self, trace):
+        deltas, _ = _session_deltas(trace, SessionConfig("relDiff"))
+        updated = [
+            (delta, rank_delta)
+            for delta in deltas
+            for rank_delta in delta.ranks
+            if rank_delta.updated
+        ]
+        assert updated  # iterations repeat across flush windows
+        delta, rank_delta = updated[0]
+        payload = serialize_delta(delta).decode()
+        stored = rank_delta.updated[0]
+        # The UPD line is immediately followed by the representative's full
+        # current SEG block.
+        assert (
+            f"UPD {stored.segment_id} count={stored.count}\n"
+            f"SEG {stored.segment_id} "
+        ) in payload
+        assert stored.count > 1
+
+
+class TestDeltaReconstruction:
+    @pytest.mark.parametrize("metric_name", ["relDiff", "iter_k", "iter_avg"])
+    def test_deltas_rebuild_batch_output(self, trace, metric_name):
+        # Concatenating, per rank: every delta's new SEG blocks (taking the
+        # *latest* state of ids that later appear in UPD) and every EXEC
+        # entry reproduces the batch reduced trace byte-for-byte.
+        deltas, result = _session_deltas(trace, SessionConfig(metric_name))
+        want = serialize_reduced_trace(
+            TraceReducer(create_metric(metric_name)).reduce(trace)
+        )
+        assert serialize_reduced_trace(result.reduced) == want
+
+        latest = {}  # (rank, sid) -> StoredSegment, last state wins
+        order = {}  # rank -> [sid in first-seen order]
+        execs = {}
+        for delta in deltas:
+            for rank_delta in delta.ranks:
+                for stored in rank_delta.new:
+                    latest[(rank_delta.rank, stored.segment_id)] = stored
+                    order.setdefault(rank_delta.rank, []).append(stored.segment_id)
+                for stored in rank_delta.updated:
+                    latest[(rank_delta.rank, stored.segment_id)] = stored
+                execs.setdefault(rank_delta.rank, []).extend(rank_delta.execs)
+        rebuilt = b""
+        for rank in sorted(order):
+            for sid in order[rank]:
+                stored = latest[(rank, sid)]
+                rebuilt += serialize_segment(stored.segment, segment_id=sid)
+            for sid, start in execs[rank]:
+                rebuilt += serialize_exec_entry(sid, start)
+        assert rebuilt == want
+
+
+class TestDeltaWriter:
+    def test_appends_non_empty_deltas_only(self, trace, tmp_path):
+        deltas, _ = _session_deltas(trace, SessionConfig("relDiff"))
+        path = tmp_path / "deltas.log"
+        with DeltaWriter(path) as writer:
+            for delta in deltas:
+                writer.write(delta)
+            # An empty flush writes nothing.
+            empty = ReductionSession("t", SessionConfig("relDiff")).flush()
+            assert writer.write(empty) == 0
+        non_empty = [d for d in deltas if not d.empty]
+        assert writer.deltas_written == len(non_empty)
+        payload = path.read_bytes()
+        assert len(payload) == writer.bytes_written
+        assert payload == b"".join(serialize_delta(d) for d in non_empty)
+        assert payload.count(b"DELTA ") == len(non_empty)
+
+    def test_chunks_concatenate_to_serialization(self, trace):
+        deltas, _ = _session_deltas(trace, SessionConfig("euclidean"))
+        for delta in deltas:
+            assert b"".join(iter_delta_chunks(delta)) == serialize_delta(delta)

@@ -319,3 +319,61 @@ class TestCommands:
             main(["report", "no_such_telemetry.json"])
         assert excinfo.value.code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_workload_with_verify_and_cache(self, capsys, tmp_path):
+        deltas = tmp_path / "deltas.log"
+        code, out = run_cli(
+            capsys, "--scale", "smoke", "serve", "late_sender",
+            "--sessions", "3", "--store-capacity", "12", "--tenant-budget", "30",
+            "--repeat", "2", "--verify", "--deltas", str(deltas),
+        )
+        assert code == 0
+        flat = " ".join(out.split())
+        assert "matches serial reducer yes" in flat
+        assert "evicted to checkpoint" in out
+        assert "2 cache hits" in out
+        assert deltas.exists() and deltas.read_text().startswith("DELTA ")
+
+    def test_serve_trace_file(self, capsys, tmp_path):
+        from repro.benchmarks_ats import late_sender
+        from repro.trace.io import write_trace
+
+        path = tmp_path / "trace.rpb"
+        write_trace(late_sender(nprocs=2, iterations=3, seed=1).run(), path)
+        code, out = run_cli(
+            capsys, "serve", "--trace", str(path), "--method", "euclidean",
+            "--verify", "--repeat", "1",
+        )
+        assert code == 0
+        flat = " ".join(out.split())
+        assert "matches serial reducer yes" in flat
+        assert "1 cache hits" in flat
+
+    def test_serve_telemetry_report_shows_service_counters(self, capsys, tmp_path):
+        telemetry = tmp_path / "serve.json"
+        code, _ = run_cli(
+            capsys, "--scale", "smoke", "serve", "late_sender",
+            "--sessions", "2", "--telemetry", str(telemetry),
+        )
+        assert code == 0
+        code, out = run_cli(capsys, "report", str(telemetry))
+        assert code == 0
+        assert "service.append" in out
+        assert "service.sessions_opened" in out
+        assert "service.deltas_emitted" in out
+
+    def test_serve_trace_and_workload_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "late_sender", "--trace", "x.txt"])
+        with pytest.raises(SystemExit):
+            main(["serve"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--trace", "nope.txt"])
+
+    def test_serve_invalid_counts_are_usage_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scale", "smoke", "serve", "late_sender", "--sessions", "0"])
+        with pytest.raises(SystemExit):
+            main(["--scale", "smoke", "serve", "late_sender", "--chunk", "0"])

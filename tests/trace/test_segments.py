@@ -163,3 +163,79 @@ class TestSegmentation:
         ]
         with pytest.raises(SegmentationError, match="does not match open event"):
             segment_rank_records(records)
+
+
+class TestRecordSegmenter:
+    """The push-style segmenter behind iter_segments and the online service."""
+
+    def _push_all(self, segmenter, records):
+        out = []
+        for rec in records:
+            segment = segmenter.push(rec)
+            if segment is not None:
+                out.append(segment)
+        return out
+
+    def test_push_matches_batch_segmentation(self):
+        from repro.trace.segments import RecordSegmenter
+
+        records = _valid_stream()
+        want = segment_rank_records(records)
+        segmenter = RecordSegmenter()
+        got = self._push_all(segmenter, records)
+        segmenter.finish()
+        assert got == want
+        assert segmenter.n_emitted == len(want)
+
+    def test_mid_segment_flag(self):
+        from repro.trace.segments import RecordSegmenter
+
+        segmenter = RecordSegmenter()
+        records = _valid_stream()
+        assert not segmenter.mid_segment
+        segmenter.push(records[0])
+        assert segmenter.mid_segment
+        segmenter.push(records[1])
+        assert segmenter.mid_segment  # open event
+        segmenter.push(records[2])
+        segmenter.push(records[3])
+        assert not segmenter.mid_segment
+
+    def test_picklable_mid_stream(self):
+        import pickle
+
+        from repro.trace.segments import RecordSegmenter
+
+        records = _valid_stream()
+        cut = 5  # inside main.1, after its SEGMENT_BEGIN
+        segmenter = RecordSegmenter()
+        first = self._push_all(segmenter, records[:cut])
+        resumed = pickle.loads(pickle.dumps(segmenter))
+        second = self._push_all(resumed, records[cut:])
+        resumed.finish()
+        assert first + second == segment_rank_records(records)
+        assert resumed.n_emitted == 2
+
+    def test_finish_rejects_open_segment(self):
+        from repro.trace.segments import RecordSegmenter
+
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"))
+        with pytest.raises(SegmentationError, match="never closed"):
+            segmenter.finish()
+
+    def test_finish_rejects_open_event(self):
+        from repro.trace.segments import RecordSegmenter
+
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(RecordKind.SEGMENT_BEGIN, 0.0, "a"))
+        segmenter.push(_rec(RecordKind.ENTER, 1.0, "f"))
+        with pytest.raises(SegmentationError):
+            segmenter.finish()
+
+    def test_rank_pinned_at_construction(self):
+        from repro.trace.segments import RecordSegmenter
+
+        segmenter = RecordSegmenter(0)
+        with pytest.raises(SegmentationError, match="mixes ranks"):
+            segmenter.push(_rec(RecordKind.SEGMENT_BEGIN, 0.0, "a", rank=1))
