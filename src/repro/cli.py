@@ -366,6 +366,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="number of hottest spans to list (default: 10)"
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="deterministic scenario fuzzer: adversarial workloads through the oracle matrix",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=27, help="number of cases to plan (default: 27)"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed (default: 0)")
+    fuzz.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="restrict to these generator families (default: all, round-robin)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop planning new cases after this many seconds (truncates, never alters)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="case database directory (default: tests/regression_corpus when saving)",
+    )
+    fuzz.add_argument(
+        "--save-failures",
+        action="store_true",
+        help="persist failing cases to the corpus directory as replayable JSON",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action="store_true",
+        help="greedily minimize failing cases before persisting them",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="CASE",
+        help="replay one corpus case (by id or path) instead of running a campaign",
+    )
+
     convert = sub.add_parser(
         "convert",
         help="convert a trace file between the text and binary (.rpb) formats",
@@ -917,6 +962,84 @@ def _cmd_convert(args) -> str:
     return format_table(["property", "value"], rows, title="trace conversion")
 
 
+def _cmd_fuzz(args) -> str:
+    import tempfile
+    from pathlib import Path
+
+    from repro.fuzz import FAMILY_NAMES, CaseDB, run_fuzz
+    from repro.fuzz.casedb import DEFAULT_CORPUS_DIR
+    from repro.fuzz.oracles import run_oracles
+
+    if args.families:
+        unknown = [f for f in args.families if f not in FAMILY_NAMES]
+        if unknown:
+            raise _UsageError(
+                f"unknown families {unknown}; available: {', '.join(FAMILY_NAMES)}"
+            )
+
+    if args.replay is not None:
+        db = CaseDB(args.corpus or DEFAULT_CORPUS_DIR)
+        try:
+            case = db.load(args.replay)
+        except FileNotFoundError as error:
+            raise _UsageError(str(error)) from error
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+            outcomes = run_oracles(
+                case.trace(), case.config, Path(tmp), case.oracles, seed=case.seed
+            )
+        rows = [[o.name, o.status, o.detail[:80]] for o in outcomes]
+        table = format_table(
+            ["oracle", "status", "detail"],
+            rows,
+            title=f"replay {case.id} ({case.family}, {case.config.describe()})",
+        )
+        if any(o.failed for o in outcomes):
+            raise _VerificationFailed(table, f"corpus case {case.id} still fails")
+        return table
+
+    corpus_dir = None
+    if args.save_failures or args.corpus:
+        corpus_dir = Path(args.corpus) if args.corpus else DEFAULT_CORPUS_DIR
+    report = run_fuzz(
+        args.seed,
+        args.cases,
+        families=args.families,
+        time_budget=args.time_budget,
+        corpus_dir=corpus_dir,
+        shrink=args.shrink,
+    )
+    rows = []
+    for result in report.results:
+        failed = ", ".join(result.failed_oracles) or "-"
+        n_pass = sum(o.status == "pass" for o in result.outcomes)
+        n_skip = sum(o.status == "skip" for o in result.outcomes)
+        rows.append(
+            [
+                result.case.id,
+                result.case.spec.family,
+                result.case.config.describe(),
+                f"{n_pass}/{len(result.outcomes)}" + (f" ({n_skip} skip)" if n_skip else ""),
+                failed,
+            ]
+        )
+    title = (
+        f"fuzz seed={report.seed}: {len(report.results)}/{report.planned} cases, "
+        f"{report.n_failed} failed, {report.seconds:.1f}s"
+        + (" [time budget hit]" if report.truncated else "")
+    )
+    table = format_table(["case", "family", "config", "oracles", "failed"], rows, title=title)
+    coverage = report.oracle_coverage
+    coverage_line = "oracle coverage: " + ", ".join(
+        f"{name}={coverage.get(name, 0)}" for name in sorted(coverage)
+    )
+    output = table + "\n" + coverage_line
+    if report.saved:
+        output += "\nsaved: " + ", ".join(str(p) for p in report.saved)
+    if not report.ok:
+        raise _VerificationFailed(output, f"{report.n_failed} fuzz case(s) failed")
+    return output
+
+
 def _cmd_figure(which: str, scale) -> str:
     if which == "fig5":
         return format_rows(fig5_size_and_matching(scale=scale), title="Figure 5")
@@ -971,6 +1094,8 @@ def _dispatch(args, scale, parser) -> str:
         output = _cmd_report(args)
     elif args.command == "convert":
         output = _cmd_convert(args)
+    elif args.command == "fuzz":
+        output = _cmd_fuzz(args)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return output

@@ -1,0 +1,162 @@
+"""Replayable case database: mined failures as JSON regression cases.
+
+A :class:`CorpusCase` captures everything needed to replay a fuzz failure
+without the generator that produced it: the raw per-rank records (the
+generator's params and seed are kept for provenance, but replay runs from
+the records, so corpus cases survive generator changes), the reduction
+config, the oracles that failed, and the divergence report.
+
+Cases live as one JSON file each under ``tests/regression_corpus/`` and are
+replayed by an ordinary pytest parametrization there — every mined bug
+becomes a permanent regression test.  Timestamps round-trip exactly:
+``json`` serializes floats via ``repr``, which is lossless for float64, so
+even ulp-precision boundary cases survive the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.fuzz.generators import CaseConfig, trace_from_records
+from repro.trace.events import MpiCallInfo
+from repro.trace.records import RecordKind, TraceRecord
+
+__all__ = ["CorpusCase", "CaseDB", "encode_records", "decode_records", "DEFAULT_CORPUS_DIR"]
+
+#: Where the CLI persists failures by default (relative to the repo root).
+DEFAULT_CORPUS_DIR = Path("tests/regression_corpus")
+
+_MPI_FIELDS = ("op", "root", "peer", "source", "tag", "nbytes", "comm")
+
+
+def _encode_mpi(mpi: Optional[MpiCallInfo]) -> Optional[dict]:
+    if mpi is None:
+        return None
+    return {name: getattr(mpi, name) for name in _MPI_FIELDS}
+
+
+def _decode_mpi(data: Optional[Mapping]) -> Optional[MpiCallInfo]:
+    if data is None:
+        return None
+    return MpiCallInfo(**{name: data[name] for name in _MPI_FIELDS if name in data})
+
+
+def encode_records(records_by_rank: Sequence[Sequence[TraceRecord]]) -> dict:
+    """Per-rank record lists as a JSON-able mapping (rank → record rows)."""
+    return {
+        str(rank): [
+            [rec.kind.name, rec.timestamp, rec.name, _encode_mpi(rec.mpi)] for rec in records
+        ]
+        for rank, records in enumerate(records_by_rank)
+    }
+
+
+def decode_records(data: Mapping) -> list[list[TraceRecord]]:
+    """Inverse of :func:`encode_records` (ranks come back in index order)."""
+    out: list[list[TraceRecord]] = []
+    for rank in sorted(data, key=int):
+        records = [
+            TraceRecord(
+                kind=RecordKind[row[0]],
+                rank=int(rank),
+                timestamp=row[1],
+                name=row[2],
+                mpi=_decode_mpi(row[3]),
+            )
+            for row in data[rank]
+        ]
+        out.append(records)
+    return out
+
+
+@dataclass(slots=True)
+class CorpusCase:
+    """One persisted fuzz case: records + config + the oracles to replay."""
+
+    id: str
+    family: str
+    seed: int
+    params: dict
+    config: CaseConfig
+    oracles: list[str]
+    records: list[list[TraceRecord]]
+    divergence: str = ""
+    shrunk: bool = False
+    note: str = ""
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(r) for r in self.records)
+
+    def trace(self):
+        """Rebuild the raw trace this case replays."""
+        return trace_from_records(f"corpus-{self.id}", self.records)
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "family": self.family,
+            "seed": self.seed,
+            "params": self.params,
+            "config": self.config.as_dict(),
+            "oracles": list(self.oracles),
+            "records": encode_records(self.records),
+            "divergence": self.divergence,
+            "shrunk": self.shrunk,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "CorpusCase":
+        return cls(
+            id=data["id"],
+            family=data["family"],
+            seed=data["seed"],
+            params=dict(data.get("params", {})),
+            config=CaseConfig.from_dict(data["config"]),
+            oracles=list(data["oracles"]),
+            records=decode_records(data["records"]),
+            divergence=data.get("divergence", ""),
+            shrunk=bool(data.get("shrunk", False)),
+            note=data.get("note", ""),
+        )
+
+
+class CaseDB:
+    """A directory of corpus cases, one ``<id>.json`` per case."""
+
+    def __init__(self, directory: str | Path = DEFAULT_CORPUS_DIR):
+        self.directory = Path(directory)
+
+    def path_for(self, case_id: str) -> Path:
+        return self.directory / f"{case_id}.json"
+
+    def save(self, case: CorpusCase) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(case.id)
+        path.write_text(json.dumps(case.to_json(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    def load(self, ref: str | Path) -> CorpusCase:
+        """Load by case id or by path."""
+        path = Path(ref)
+        if not path.suffix == ".json" or not path.exists():
+            path = self.path_for(str(ref))
+        if not path.exists():
+            raise FileNotFoundError(f"no corpus case {ref!r} (looked at {path})")
+        return CorpusCase.from_json(json.loads(path.read_text()))
+
+    def case_paths(self) -> list[Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def __iter__(self) -> Iterator[CorpusCase]:
+        for path in self.case_paths():
+            yield CorpusCase.from_json(json.loads(path.read_text()))
+
+    def __len__(self) -> int:
+        return len(self.case_paths())

@@ -1,0 +1,229 @@
+"""Fuzz executor: plan deterministic cases, run the oracle matrix, mine failures.
+
+:func:`plan_cases` expands ``(seed, n_cases, families)`` into a fully
+deterministic case list — case ``i`` draws its params and config from
+``rng_for(seed, "case", i)`` and its own generator seed from
+``derive_seed(seed, "case", i)``, and the case id is a content hash of
+``(family, seed, params, config)``, so two runs with the same arguments
+produce identical ids and identical pass/fail results (the CLI acceptance
+contract).  A wall-clock ``time_budget`` only *truncates* that list — cases
+either run exactly as planned or not at all, never differently.
+
+Failures are persisted to a :class:`~repro.fuzz.casedb.CaseDB` (optionally
+shrunk first) so they can be replayed by id, by the regression-corpus test,
+or shown by ``examples/fuzz_tour.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.fuzz.casedb import CaseDB, CorpusCase
+from repro.fuzz.generators import (
+    FAMILIES,
+    FAMILY_NAMES,
+    CaseConfig,
+    CaseSpec,
+    generate_case,
+    random_config,
+)
+from repro.fuzz.oracles import OracleOutcome, applicable_oracles, run_oracles
+from repro.fuzz.shrink import make_failure_check, shrink_records
+from repro.util.rng import derive_seed, rng_for
+
+__all__ = ["FuzzCase", "CaseResult", "FuzzReport", "plan_cases", "run_case", "run_fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One planned case: what to generate and how to reduce it."""
+
+    spec: CaseSpec
+    config: CaseConfig
+
+    @property
+    def id(self) -> str:
+        """Content hash of the full case description (stable across runs)."""
+        payload = json.dumps(
+            {
+                "family": self.spec.family,
+                "seed": self.spec.seed,
+                "params": dict(self.spec.params),
+                "config": self.config.as_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+    @property
+    def oracles(self) -> tuple[str, ...]:
+        return applicable_oracles(FAMILIES[self.spec.family])
+
+    def describe(self) -> str:
+        return f"{self.id} {self.spec.family} [{self.config.describe()}]"
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """One executed case with its oracle outcomes."""
+
+    case: FuzzCase
+    outcomes: list[OracleOutcome]
+    records: list[list] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def failed_oracles(self) -> list[str]:
+        return [o.name for o in self.outcomes if o.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_oracles
+
+    @property
+    def divergence(self) -> str:
+        return "; ".join(o.detail for o in self.outcomes if o.failed)
+
+
+@dataclass(slots=True)
+class FuzzReport:
+    """What one fuzz run did."""
+
+    seed: int
+    planned: int
+    results: list[CaseResult] = field(default_factory=list)
+    saved: list[Path] = field(default_factory=list)
+    truncated: bool = False
+    seconds: float = 0.0
+
+    @property
+    def n_failed(self) -> int:
+        return sum(not r.ok for r in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_failed == 0
+
+    @property
+    def oracle_coverage(self) -> dict[str, int]:
+        """How many cases ran each oracle (skips excluded)."""
+        coverage: dict[str, int] = {}
+        for result in self.results:
+            for outcome in result.outcomes:
+                if outcome.status != "skip":
+                    coverage[outcome.name] = coverage.get(outcome.name, 0) + 1
+        return coverage
+
+
+def plan_cases(
+    seed: int, n_cases: int, families: Optional[Sequence[str]] = None
+) -> list[FuzzCase]:
+    """The deterministic case list of one run (round-robin over families)."""
+    names = tuple(families) if families else FAMILY_NAMES
+    for name in names:
+        if name not in FAMILIES:
+            raise ValueError(f"unknown fuzz family {name!r}; expected one of {FAMILY_NAMES}")
+    cases: list[FuzzCase] = []
+    for i in range(n_cases):
+        family = FAMILIES[names[i % len(names)]]
+        rng = rng_for(seed, "case", i)
+        params = family.default_params(rng)
+        config = (
+            CaseConfig.from_dict(params["config"])
+            if "config" in params
+            else random_config(rng)
+        )
+        spec = CaseSpec(family=family.name, seed=derive_seed(seed, "case", i), params=params)
+        cases.append(FuzzCase(spec=spec, config=config))
+    return cases
+
+
+def run_case(case: FuzzCase, workdir: Optional[Path] = None) -> CaseResult:
+    """Generate one case's trace and run its oracle set over it."""
+    start = time.monotonic()
+    trace = generate_case(case.spec)
+    records = [list(rank.records) for rank in trace.ranks]
+
+    def _run(directory: Path) -> list[OracleOutcome]:
+        return run_oracles(trace, case.config, directory, case.oracles, seed=case.spec.seed)
+
+    if workdir is not None:
+        outcomes = _run(Path(workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+            outcomes = _run(Path(tmp))
+    return CaseResult(
+        case=case, outcomes=outcomes, records=records, seconds=time.monotonic() - start
+    )
+
+
+def _persist_failure(
+    result: CaseResult, db: CaseDB, shrink: bool, shrink_budget: int
+) -> Path:
+    records = result.records
+    shrunk = False
+    if shrink:
+        check = make_failure_check(result.case.config, result.failed_oracles)
+        try:
+            records = shrink_records(records, check, budget=shrink_budget).records
+            shrunk = True
+        except ValueError:
+            # Flaky failure (did not reproduce under the shrinker's check):
+            # persist the original records so a human can look.
+            records = result.records
+    corpus = CorpusCase(
+        id=result.case.id,
+        family=result.case.spec.family,
+        seed=result.case.spec.seed,
+        params=dict(result.case.spec.params),
+        config=result.case.config,
+        oracles=result.failed_oracles,
+        records=records,
+        divergence=result.divergence,
+        shrunk=shrunk,
+        note="mined by repro-trace fuzz",
+    )
+    return db.save(corpus)
+
+
+def run_fuzz(
+    seed: int,
+    n_cases: int,
+    *,
+    families: Optional[Sequence[str]] = None,
+    time_budget: Optional[float] = None,
+    corpus_dir: Optional[Path] = None,
+    shrink: bool = False,
+    shrink_budget: int = 400,
+    progress=None,
+) -> FuzzReport:
+    """Run one deterministic fuzz campaign.
+
+    ``time_budget`` (seconds) stops *between* cases once exceeded — with no
+    budget the run is exactly the planned list.  Failures are saved to
+    ``corpus_dir`` when given; ``progress`` is an optional callable invoked
+    with each :class:`CaseResult` as it completes (the CLI's live table).
+    """
+    started = time.monotonic()
+    cases = plan_cases(seed, n_cases, families)
+    report = FuzzReport(seed=seed, planned=len(cases))
+    db = CaseDB(corpus_dir) if corpus_dir is not None else None
+    for case in cases:
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            report.truncated = True
+            break
+        result = run_case(case)
+        report.results.append(result)
+        if not result.ok and db is not None:
+            report.saved.append(_persist_failure(result, db, shrink, shrink_budget))
+        if progress is not None:
+            progress(result)
+    report.seconds = time.monotonic() - started
+    return report

@@ -1,0 +1,264 @@
+"""Greedy case minimizer: shrink a failing trace while it still fails.
+
+Shrinking operates on the explicit per-rank record lists of a
+:class:`~repro.fuzz.casedb.CorpusCase` — not on generator params — so a
+minimized case keeps reproducing even after the generator that mined it
+changes.  Passes run in coarse-to-fine order, restarting after any
+successful edit, until a fixpoint or the check budget runs out:
+
+1. **Drop ranks** (survivors are renumbered to stay contiguous, which the
+   text format requires).
+2. **Drop segment chunks** — a chunk is one balanced SEGMENT_BEGIN..END
+   span of records; stray records outside any span (malformed streams)
+   are their own single-record chunks, so rule-violating records can be
+   dropped individually.  A rank shrunk to zero records is dropped.
+3. **Drop events** — adjacent ENTER/EXIT pairs inside segments.
+4. **Simplify timestamps** — global coarsening (quarter-tick, then whole
+   numbers), accepted only if the case still fails.
+
+The *check* is "the named oracles still fail" (a crash counts as failing:
+turning a divergence into a crash on the same pathway is still the same
+reproducer).  An edit that makes the records unbuildable is simply
+rejected.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.fuzz.generators import CaseConfig, trace_from_records
+from repro.trace.records import RecordKind, TraceRecord
+
+__all__ = ["ShrinkResult", "make_failure_check", "shrink_records"]
+
+Records = Sequence[Sequence[TraceRecord]]
+
+
+@dataclass(slots=True)
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    records: list[list[TraceRecord]]
+    checks: int
+    records_before: int
+    records_after: int
+
+    @property
+    def reduction(self) -> float:
+        if self.records_before == 0:
+            return 0.0
+        return 1.0 - self.records_after / self.records_before
+
+
+def make_failure_check(config: CaseConfig, oracle_names: Sequence[str]) -> Callable[[Records], bool]:
+    """Build the predicate "these records still fail one of the named oracles"."""
+    from repro.fuzz.oracles import run_oracles
+
+    names = tuple(oracle_names)
+
+    def check(records_by_rank: Records) -> bool:
+        if not any(len(r) for r in records_by_rank):
+            return False
+        try:
+            trace = trace_from_records("shrink-probe", records_by_rank)
+        except Exception:
+            return False
+        with tempfile.TemporaryDirectory(prefix="repro-shrink-") as tmp:
+            try:
+                outcomes = run_oracles(trace, config, Path(tmp), names)
+            except Exception:
+                # A harness-level crash still reproduces a defect on the
+                # same pathways; keep the edit.
+                return True
+        return any(o.failed for o in outcomes)
+
+    return check
+
+
+def _segment_chunks(records: Sequence[TraceRecord]) -> list[list[TraceRecord]]:
+    """Split one rank's records into droppable chunks (see module docstring)."""
+    chunks: list[list[TraceRecord]] = []
+    current: list[TraceRecord] = []
+    depth = 0
+    for rec in records:
+        if rec.kind is RecordKind.SEGMENT_BEGIN:
+            if depth == 0 and current:
+                chunks.append(current)
+                current = []
+            depth += 1
+            current.append(rec)
+        elif rec.kind is RecordKind.SEGMENT_END:
+            current.append(rec)
+            if depth > 0:
+                depth -= 1
+                if depth == 0:
+                    chunks.append(current)
+                    current = []
+        else:
+            if depth == 0:
+                # Stray record outside any segment: its own droppable chunk.
+                if current:
+                    chunks.append(current)
+                    current = []
+                chunks.append([rec])
+            else:
+                current.append(rec)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _drop_empty_ranks(records_by_rank: Records) -> list[list[TraceRecord]]:
+    return [list(r) for r in records_by_rank if len(r)]
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        """Consume one check; False when exhausted."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _try(
+    candidate: Records, check: Callable[[Records], bool], budget: _Budget
+) -> Optional[list[list[TraceRecord]]]:
+    if not budget.spend():
+        return None
+    if check(candidate):
+        return _drop_empty_ranks(candidate)
+    return None
+
+
+def _pass_drop_ranks(current, check, budget):
+    if len(current) <= 1:
+        return None
+    for i in reversed(range(len(current))):
+        candidate = current[:i] + current[i + 1 :]
+        kept = _try(candidate, check, budget)
+        if kept is not None:
+            return kept
+    return None
+
+
+def _pass_drop_chunks(current, check, budget):
+    for rank_index, records in enumerate(current):
+        chunks = _segment_chunks(records)
+        if len(chunks) <= 1 and len(current) == 1:
+            continue
+        for i in reversed(range(len(chunks))):
+            remaining = [rec for j, chunk in enumerate(chunks) if j != i for rec in chunk]
+            candidate = [
+                remaining if k == rank_index else recs for k, recs in enumerate(current)
+            ]
+            kept = _try(candidate, check, budget)
+            if kept is not None:
+                return kept
+    return None
+
+
+def _event_pair_indices(records: Sequence[TraceRecord]) -> list[tuple[int, int]]:
+    """Indices of droppable event records: matched ENTER/EXIT pairs and strays."""
+    out: list[tuple[int, int]] = []
+    i = 0
+    while i < len(records):
+        rec = records[i]
+        if rec.kind is RecordKind.ENTER:
+            if (
+                i + 1 < len(records)
+                and records[i + 1].kind is RecordKind.EXIT
+                and records[i + 1].name == rec.name
+            ):
+                out.append((i, i + 1))
+                i += 2
+                continue
+            out.append((i, i))  # unmatched ENTER: droppable alone
+        elif rec.kind is RecordKind.EXIT:
+            out.append((i, i))  # unmatched EXIT: droppable alone
+        i += 1
+    return out
+
+
+def _pass_drop_events(current, check, budget):
+    for rank_index, records in enumerate(current):
+        for lo, hi in reversed(_event_pair_indices(records)):
+            remaining = records[:lo] + records[hi + 1 :]
+            candidate = [
+                remaining if k == rank_index else recs for k, recs in enumerate(current)
+            ]
+            kept = _try(candidate, check, budget)
+            if kept is not None:
+                return kept
+    return None
+
+
+def _quantize(value: float, grid: float) -> float:
+    snapped = round(value / grid) * grid
+    return snapped if snapped >= 0 else 0.0
+
+
+def _pass_simplify_timestamps(current, check, budget):
+    for grid in (1.0, 0.25):
+        candidate = [
+            [
+                TraceRecord(r.kind, r.rank, _quantize(r.timestamp, grid), r.name, r.mpi)
+                for r in records
+            ]
+            for records in current
+        ]
+        if all(a == b for a, b in zip(candidate, current)):
+            continue
+        kept = _try(candidate, check, budget)
+        if kept is not None:
+            return kept
+    return None
+
+
+_PASSES = (
+    _pass_drop_ranks,
+    _pass_drop_chunks,
+    _pass_drop_events,
+    _pass_simplify_timestamps,
+)
+
+
+def shrink_records(
+    records_by_rank: Records,
+    check: Callable[[Records], bool],
+    *,
+    budget: int = 400,
+) -> ShrinkResult:
+    """Greedily minimize ``records_by_rank`` while ``check`` keeps returning True.
+
+    ``check`` receives candidate per-rank record lists and must return True
+    while the case still reproduces.  The input must itself pass the check
+    (shrinking something that does not fail is a caller error).
+    """
+    current = _drop_empty_ranks(records_by_rank)
+    before = sum(len(r) for r in current)
+    if not check(current):
+        raise ValueError("shrink input does not fail its own check; nothing to minimize")
+    counter = _Budget(budget)
+    progress = True
+    while progress and counter.used < counter.limit:
+        progress = False
+        for pass_fn in _PASSES:
+            kept = pass_fn(current, check, counter)
+            while kept is not None:
+                current = kept
+                progress = True
+                kept = pass_fn(current, check, counter)
+    return ShrinkResult(
+        records=current,
+        checks=counter.used,
+        records_before=before,
+        records_after=sum(len(r) for r in current),
+    )

@@ -1,0 +1,142 @@
+"""Shrink soundness: the minimized case still fails, and only then shrinks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generators import CaseConfig
+from repro.fuzz.shrink import (
+    _segment_chunks,
+    make_failure_check,
+    shrink_records,
+)
+from repro.trace.records import RecordKind, TraceRecord
+
+
+def _seg(rank, start, names=("compute",), context="main.1", gap=1.0):
+    records = [TraceRecord(RecordKind.SEGMENT_BEGIN, rank, start, context)]
+    t = start + gap
+    for name in names:
+        records.append(TraceRecord(RecordKind.ENTER, rank, t, name))
+        t += gap
+        records.append(TraceRecord(RecordKind.EXIT, rank, t, name))
+        t += gap
+    records.append(TraceRecord(RecordKind.SEGMENT_END, rank, t, context))
+    return records, t + gap
+
+
+def _multi_rank_case(n_ranks=3, n_segments=3):
+    out = []
+    for rank in range(n_ranks):
+        records, t = [], 0.0
+        for i in range(n_segments):
+            seg, t = _seg(rank, t, names=("compute", "exchange"), context=f"main.{i + 1}")
+            records.extend(seg)
+        out.append(records)
+    return out
+
+
+def _has_needle(records_by_rank):
+    return any(
+        rec.name == "needle" for records in records_by_rank for rec in records
+    )
+
+
+def test_shrink_with_synthetic_predicate_minimizes_hard():
+    records = _multi_rank_case()
+    # Plant the needle mid-way through rank 1.
+    records[1][5] = TraceRecord(RecordKind.ENTER, 1, records[1][5].timestamp, "needle")
+    records[1][6] = TraceRecord(RecordKind.EXIT, 1, records[1][6].timestamp, "needle")
+    result = shrink_records(records, _has_needle)
+    assert _has_needle(result.records)
+    # Everything but the needle-bearing chunk is droppable under this
+    # predicate: one rank, one segment chunk, the needle pair inside it.
+    assert len(result.records) == 1
+    assert result.records_after <= 4
+    assert result.records_after < result.records_before
+    assert result.reduction > 0.5
+
+
+def test_shrink_rejects_a_passing_input():
+    records = _multi_rank_case(n_ranks=1, n_segments=1)
+    with pytest.raises(ValueError, match="does not fail its own check"):
+        shrink_records(records, _has_needle)
+
+
+def test_shrink_respects_the_check_budget():
+    records = _multi_rank_case(n_ranks=4, n_segments=4)
+    records[0][1] = TraceRecord(RecordKind.ENTER, 0, records[0][1].timestamp, "needle")
+    records[0][2] = TraceRecord(RecordKind.EXIT, 0, records[0][2].timestamp, "needle")
+    result = shrink_records(records, _has_needle, budget=10)
+    assert result.checks <= 10
+    assert _has_needle(result.records)
+
+
+def test_shrink_never_returns_more_records_than_it_got():
+    records = _multi_rank_case()
+    result = shrink_records(records, lambda r: True)
+    assert result.records_after <= result.records_before
+
+
+def test_segment_chunks_balanced_spans():
+    records, _ = _seg(0, 0.0, names=("a", "b"))
+    more, _ = _seg(0, 20.0, names=("c",))
+    chunks = _segment_chunks(records + more)
+    assert len(chunks) == 2
+    assert [len(c) for c in chunks] == [6, 4]
+
+
+def test_segment_chunks_isolates_stray_records():
+    # A malformed stream: an EXIT outside any segment is its own chunk, so
+    # shrinking can drop rule-violating records individually.
+    seg, t = _seg(0, 0.0)
+    stray = TraceRecord(RecordKind.EXIT, 0, t, "orphan")
+    chunks = _segment_chunks(seg + [stray])
+    assert chunks[-1] == [stray]
+    assert len(chunks) == 2
+
+
+def test_segment_chunks_keeps_unclosed_tail():
+    begin = TraceRecord(RecordKind.SEGMENT_BEGIN, 0, 0.0, "main.1")
+    enter = TraceRecord(RecordKind.ENTER, 0, 1.0, "compute")
+    chunks = _segment_chunks([begin, enter])
+    assert chunks == [[begin, enter]]
+
+
+# --------------------------------------------------------------------------
+# End-to-end soundness against a *real* oracle: the text format rounds
+# timestamps to two decimals, so an off-grid timestamp genuinely fails
+# text_roundtrip — a true failure for make_failure_check to preserve.
+
+
+def _off_grid_case():
+    records = _multi_rank_case(n_ranks=2, n_segments=2)
+    bad = records[0][2]
+    records[0][2] = TraceRecord(bad.kind, bad.rank, bad.timestamp + 0.003, bad.name)
+    return records
+
+
+def test_make_failure_check_detects_the_lossy_text_path():
+    check = make_failure_check(CaseConfig("relDiff", 0.5), ["text_roundtrip"])
+    assert check(_off_grid_case()) is True
+    assert check(_multi_rank_case(n_ranks=2, n_segments=2)) is False
+    assert check([[]]) is False
+
+
+def test_shrink_against_real_oracle_is_sound():
+    check = make_failure_check(CaseConfig("relDiff", 0.5), ["text_roundtrip"])
+    result = shrink_records(_off_grid_case(), check, budget=120)
+    # Sound: the shrunk case still fails the very oracle it was mined on.
+    assert check(result.records) is True
+    # And it actually shrank: the clean rank and untouched segments go.
+    assert len(result.records) == 1
+    assert result.records_after < result.records_before
+    # The timestamp-simplification pass must NOT have snapped the off-grid
+    # value to the grid (that would make the case pass and be rejected).
+    off_grid = [
+        rec
+        for records in result.records
+        for rec in records
+        if (rec.timestamp / 0.25) != round(rec.timestamp / 0.25)
+    ]
+    assert off_grid, "shrink lost the off-grid timestamp that made the case fail"

@@ -1,0 +1,63 @@
+"""Replay every persisted corpus case: mined bugs must stay fixed.
+
+Each ``<id>.json`` beside this file is a fuzz case persisted by
+``repro-trace fuzz --save-failures`` (or seeded deliberately).  Replay
+runs the case's oracles from its stored records alone — no generator
+involved — so a green corpus means every pathway pair the case once
+split (or pins) is still byte-identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.casedb import CaseDB, CorpusCase
+
+CORPUS_DIR = Path(__file__).parent
+_DB = CaseDB(CORPUS_DIR)
+
+
+def _case_ids():
+    paths = _DB.case_paths()
+    assert paths, "regression corpus is empty — seed cases are expected here"
+    return [p.stem for p in paths]
+
+
+@pytest.fixture(params=_case_ids())
+def corpus_case(request) -> CorpusCase:
+    return _DB.load(request.param)
+
+
+def test_corpus_case_is_well_formed(corpus_case):
+    assert corpus_case.id
+    assert corpus_case.oracles, "a corpus case with no oracles replays nothing"
+    assert corpus_case.n_records > 0
+    trace = corpus_case.trace()
+    assert trace.nprocs == len(corpus_case.records)
+
+
+def test_corpus_case_replays_green(corpus_case, tmp_path):
+    from repro.fuzz.oracles import run_oracles
+
+    outcomes = run_oracles(
+        corpus_case.trace(),
+        corpus_case.config,
+        tmp_path,
+        corpus_case.oracles,
+        seed=corpus_case.seed,
+    )
+    failed = [(o.name, o.detail) for o in outcomes if o.failed]
+    assert not failed, f"corpus case {corpus_case.id} regressed: {failed}"
+
+
+def test_corpus_file_is_canonical_json(corpus_case):
+    # Saving the loaded case reproduces the file byte-for-byte, so corpus
+    # diffs stay reviewable and ulp-precision floats are proven lossless.
+    import json
+
+    path = _DB.path_for(corpus_case.id)
+    on_disk = path.read_text()
+    rewritten = json.dumps(corpus_case.to_json(), indent=1, sort_keys=True) + "\n"
+    assert rewritten == on_disk

@@ -1,0 +1,78 @@
+"""Hardening: every decode path fails malformed ranks with identical errors.
+
+These tests pin the fallback contract the fuzz oracle
+(:func:`repro.fuzz.oracles.oracle_malformed_fallback`) checks statistically:
+for each way a rank's record stream can violate the segmentation rules, the
+in-memory segmenter, the streaming ``.rpb`` decoder, and the columnar frame
+decoder must raise :class:`SegmentationError` with the *same message*, while
+the well-formed ranks of the same file keep decoding on every path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generators import MALFORMED_KINDS, CaseSpec, generate_case
+from repro.trace import binio
+from repro.trace.segments import SegmentationError, iter_segments
+
+
+@pytest.fixture(params=MALFORMED_KINDS)
+def malformed_trace(request, tmp_path):
+    spec = CaseSpec(
+        family="malformed",
+        seed=21,
+        params={"nprocs": 3, "kind": request.param},
+    )
+    trace = generate_case(spec)
+    path = tmp_path / "malformed.rpb"
+    binio.write_trace_rpb(trace, path)
+    return trace, path
+
+
+def _segmentation_error(fn) -> str:
+    with pytest.raises(SegmentationError) as excinfo:
+        fn()
+    return str(excinfo.value)
+
+
+def test_all_three_decode_paths_raise_the_identical_message(malformed_trace):
+    trace, path = malformed_trace
+    bad = trace.ranks[-1]
+    reference = _segmentation_error(lambda: list(iter_segments(bad.records)))
+    streaming = _segmentation_error(
+        lambda: list(binio.iter_rank_segments(path, bad.rank))
+    )
+    assert streaming == reference
+
+    def decode_frame():
+        frame = binio.rank_frame(path, bad.rank)
+        return [frame.segment(i) for i in range(frame.n_segments)]
+
+    assert _segmentation_error(decode_frame) == reference
+
+
+def test_well_formed_ranks_still_decode_on_every_path(malformed_trace):
+    trace, path = malformed_trace
+    for rank_trace in trace.ranks[:-1]:
+        reference = list(iter_segments(rank_trace.records))
+        assert list(binio.iter_rank_segments(path, rank_trace.rank)) == reference
+        frame = binio.rank_frame(path, rank_trace.rank)
+        normalized = [s.relative_to_start() for s in reference]
+        assert [frame.segment(i) for i in range(frame.n_segments)] == normalized
+
+
+def test_malformed_rank_survives_a_text_round_trip(malformed_trace, tmp_path):
+    # Converting a trace with a malformed rank must not "repair" it: the
+    # text writer/reader deal in raw records, so the violation is preserved
+    # verbatim for downstream tools to diagnose.
+    from repro.trace.io import read_trace, write_trace
+
+    trace, _ = malformed_trace
+    text_path = tmp_path / "malformed.txt"
+    write_trace(trace, text_path, format="text")
+    back = read_trace(text_path, name=trace.name)
+    for orig, reread in zip(trace.ranks, back.ranks):
+        assert orig.records == reread.records
+    with pytest.raises(SegmentationError):
+        list(iter_segments(back.ranks[-1].records))

@@ -1,0 +1,122 @@
+"""Hardening: RecordSegmenter behaviour at half-open segment edges.
+
+Segments are half-open in time: a segment owns ``[start, end)``, so a new
+segment (or the next record batch) may begin at *exactly* the timestamp the
+previous segment ended on.  These edges are where an incremental consumer
+is easiest to get wrong — a strict ``>`` comparison, an off-by-one on the
+emission index, or state that doesn't survive a checkpoint mid-edge — so
+each rule is pinned explicitly here.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.trace.records import RecordKind, TraceRecord
+from repro.trace.segments import RecordSegmenter, SegmentationError, iter_segments
+
+
+def _rec(kind, t, name, rank=0):
+    return TraceRecord(kind, rank, t, name)
+
+
+BEGIN, END = RecordKind.SEGMENT_BEGIN, RecordKind.SEGMENT_END
+ENTER, EXIT = RecordKind.ENTER, RecordKind.EXIT
+
+
+class TestHalfOpenEdges:
+    def test_next_segment_may_begin_exactly_at_previous_end(self):
+        records = [
+            _rec(BEGIN, 0.0, "main.1"),
+            _rec(END, 4.0, "main.1"),
+            _rec(BEGIN, 4.0, "main.2"),
+            _rec(END, 8.0, "main.2"),
+        ]
+        first, second = iter_segments(records)
+        assert first.end == second.start == 4.0
+        assert (first.index, second.index) == (0, 1)
+
+    def test_zero_duration_segment_is_legal(self):
+        records = [_rec(BEGIN, 2.5, "sync.1"), _rec(END, 2.5, "sync.1")]
+        (segment,) = iter_segments(records)
+        assert segment.start == segment.end == 2.5
+        assert segment.events == []
+
+    def test_event_may_close_exactly_at_segment_end_timestamp(self):
+        records = [
+            _rec(BEGIN, 0.0, "main.1"),
+            _rec(ENTER, 1.0, "compute"),
+            _rec(EXIT, 3.0, "compute"),
+            _rec(END, 3.0, "main.1"),
+        ]
+        (segment,) = iter_segments(records)
+        assert segment.events[0].end == segment.end == 3.0
+
+    def test_zero_duration_event_at_segment_start(self):
+        records = [
+            _rec(BEGIN, 0.0, "main.1"),
+            _rec(ENTER, 0.0, "barrier"),
+            _rec(EXIT, 0.0, "barrier"),
+            _rec(END, 1.0, "main.1"),
+        ]
+        (segment,) = iter_segments(records)
+        assert segment.events[0].start == segment.events[0].end == 0.0
+
+    def test_event_still_open_at_segment_end_is_rejected(self):
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(BEGIN, 0.0, "main.1"))
+        segmenter.push(_rec(ENTER, 1.0, "compute"))
+        with pytest.raises(SegmentationError, match="inside open event"):
+            segmenter.push(_rec(END, 1.0, "main.1"))
+
+    def test_begin_at_previous_end_requires_the_end_first(self):
+        # Same timestamp, wrong order: BEGIN before the END is still nesting.
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(BEGIN, 0.0, "main.1"))
+        with pytest.raises(SegmentationError, match="must not nest"):
+            segmenter.push(_rec(BEGIN, 4.0, "main.2"))
+
+
+class TestIncrementalStateAtEdges:
+    def test_mid_segment_flag_flips_exactly_on_the_edge_records(self):
+        segmenter = RecordSegmenter()
+        assert not segmenter.mid_segment
+        segmenter.push(_rec(BEGIN, 0.0, "main.1"))
+        assert segmenter.mid_segment
+        emitted = segmenter.push(_rec(END, 0.0, "main.1"))
+        assert emitted is not None and not segmenter.mid_segment
+        segmenter.finish()
+
+    def test_pickle_on_the_half_open_edge_resumes_identically(self):
+        # Checkpoint between an END and a BEGIN that share a timestamp: the
+        # resumed segmenter must keep the emission index and accept the
+        # back-to-back BEGIN exactly like an uninterrupted run.
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(BEGIN, 0.0, "main.1"))
+        segmenter.push(_rec(END, 4.0, "main.1"))
+        resumed = pickle.loads(pickle.dumps(segmenter))
+        assert resumed.n_emitted == 1 and not resumed.mid_segment
+        resumed.push(_rec(BEGIN, 4.0, "main.2"))
+        segment = resumed.push(_rec(END, 4.0, "main.2"))
+        assert segment.index == 1
+        resumed.finish()
+
+    def test_pickle_with_open_event_preserves_the_pending_edge(self):
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(BEGIN, 0.0, "main.1"))
+        segmenter.push(_rec(ENTER, 1.0, "compute"))
+        resumed = pickle.loads(pickle.dumps(segmenter))
+        assert resumed.mid_segment
+        resumed.push(_rec(EXIT, 1.0, "compute"))
+        segment = resumed.push(_rec(END, 1.0, "main.1"))
+        assert segment.events[0].start == segment.events[0].end == 1.0
+
+    def test_finish_names_the_unclosed_segment_on_the_edge(self):
+        segmenter = RecordSegmenter()
+        segmenter.push(_rec(BEGIN, 0.0, "main.1"))
+        segmenter.push(_rec(END, 4.0, "main.1"))
+        segmenter.push(_rec(BEGIN, 4.0, "main.2"))
+        with pytest.raises(SegmentationError, match="'main.2' was never closed"):
+            segmenter.finish()
